@@ -1,0 +1,33 @@
+# Convenience targets for the Orionet reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce reproduce-tiny report examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper artifact (Tab. 3/4, Fig. 1/4-7) + extensions.
+reproduce:
+	$(PYTHON) -m repro.experiments.run_all --scale small
+	$(PYTHON) -m repro.experiments.report --scale small
+
+reproduce-tiny:
+	$(PYTHON) -m repro.experiments.run_all --scale tiny
+	$(PYTHON) -m repro.experiments.report --scale tiny
+
+report:
+	$(PYTHON) -m repro.experiments.report --scale small
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .benchmarks .hypothesis build src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

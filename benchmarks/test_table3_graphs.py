@@ -1,0 +1,57 @@
+"""Table 3 benchmarks: graph construction and statistics per category.
+
+Covers the suite substrate itself — generator cost and the
+connectivity/diameter analysis that produces the Tab. 3 columns.
+"""
+
+import pytest
+
+from repro.graphs import knn_graph, road_graph, social_graph, web_graph
+from repro.graphs.connectivity import approximate_diameter, largest_component
+from repro.graphs.knn import clustered_points
+
+
+class TestGeneration:
+    def test_generate_social(self, benchmark):
+        g = benchmark(lambda: social_graph(2000, avg_degree=16, seed=1))
+        assert g.num_vertices == 2000
+
+    def test_generate_web(self, benchmark):
+        g = benchmark(lambda: web_graph(2000, avg_degree=12, seed=2))
+        assert g.num_vertices == 2000
+
+    def test_generate_road(self, benchmark):
+        g = benchmark(lambda: road_graph(45, 45, seed=3))
+        assert g.num_vertices == 2025
+
+    def test_generate_knn(self, benchmark):
+        pts = clustered_points(2000, 2, seed=4)
+        g = benchmark(lambda: knn_graph(pts, k=5))
+        assert g.num_vertices == 2000
+
+
+class TestStatistics:
+    def test_largest_component(self, benchmark, road):
+        lcc = benchmark(lambda: largest_component(road))
+        assert len(lcc) > 0.9 * road.num_vertices
+
+    def test_approximate_diameter(self, benchmark, road):
+        d = benchmark.pedantic(
+            lambda: approximate_diameter(road), rounds=3, iterations=1
+        )
+        assert d > 10
+
+    def test_table3_row(self, benchmark, social):
+        """The full per-graph statistics pipeline of Tab. 3."""
+
+        def row():
+            lcc = largest_component(social)
+            return {
+                "n": social.num_vertices,
+                "m": social.num_edges // 2,
+                "D": approximate_diameter(social, sweeps=2),
+                "lcc": len(lcc) / social.num_vertices,
+            }
+
+        out = benchmark.pedantic(row, rounds=3, iterations=1)
+        assert out["lcc"] > 0.5

@@ -1,0 +1,57 @@
+"""Orionet reproduction: parallel point-to-point shortest paths and batch queries.
+
+A Python reproduction of *"Parallel Point-to-Point Shortest Paths and
+Batch Queries"* (SPAA 2025): the PPSP framework over stepping-algorithm
+SSSP, with early termination, A*, bidirectional search, bidirectional
+A*, and query-graph-based batch solvers — plus a simulated fork-join
+machine for scalability analysis.
+
+Quickstart::
+
+    import repro
+    g = repro.graphs.road_graph(100, 100, seed=1)
+    ans = repro.ppsp(g, 0, g.num_vertices - 1, method="bidastar")
+    print(ans.distance, len(ans.path()))
+"""
+
+from . import analysis, baselines, core, graphs, heuristics, parallel
+from .api import BATCH_METHODS, PPSP_METHODS, PPSPAnswer, batch_ppsp, ppsp
+from .core import (
+    AStar,
+    BiDAStar,
+    BiDS,
+    DeltaStepping,
+    EarlyTermination,
+    MultiPPSP,
+    QueryGraph,
+    solve_batch,
+    sssp,
+)
+from .graphs import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ppsp",
+    "batch_ppsp",
+    "PPSPAnswer",
+    "PPSP_METHODS",
+    "BATCH_METHODS",
+    "Graph",
+    "QueryGraph",
+    "solve_batch",
+    "sssp",
+    "EarlyTermination",
+    "AStar",
+    "BiDS",
+    "BiDAStar",
+    "MultiPPSP",
+    "DeltaStepping",
+    "graphs",
+    "core",
+    "heuristics",
+    "parallel",
+    "baselines",
+    "analysis",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Measurement helpers: percentile query selection and statistics."""
+
+from .percentiles import (
+    doubling_rank_targets,
+    reachable_by_distance,
+    sample_query_pairs,
+    target_at_percentile,
+)
+from .plotting import ascii_heatmap, ascii_line_chart, format_si
+from .stats import geometric_mean, normalize_to_best, speedup
+
+__all__ = [
+    "reachable_by_distance",
+    "target_at_percentile",
+    "doubling_rank_targets",
+    "sample_query_pairs",
+    "ascii_line_chart",
+    "ascii_heatmap",
+    "format_si",
+    "geometric_mean",
+    "normalize_to_best",
+    "speedup",
+]

@@ -1,0 +1,86 @@
+"""Distance-percentile query selection (Sec. 6 methodology).
+
+The paper evaluates PPSP at controlled difficulty: "a query at the x-th
+distance percentile means the target is the x% farthest vertex from the
+source".  Given SSSP distances from a source, these helpers pick targets
+at exact percentiles, and the doubling-rank series used by Fig. 4/8
+(10th closest, 20th, 40th, ... up to the farthest reachable vertex).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sssp import sssp_distances
+from ..graphs.connectivity import largest_component
+
+__all__ = [
+    "reachable_by_distance",
+    "target_at_percentile",
+    "doubling_rank_targets",
+    "sample_query_pairs",
+]
+
+
+def reachable_by_distance(graph, source: int) -> tuple[np.ndarray, np.ndarray]:
+    """Vertices reachable from ``source`` sorted by true distance.
+
+    Returns ``(vertices, distances)``, both sorted ascending by distance
+    (the source itself, at distance 0, comes first).
+    """
+    dist = sssp_distances(graph, source)
+    reach = np.flatnonzero(np.isfinite(dist))
+    order = np.argsort(dist[reach], kind="stable")
+    verts = reach[order]
+    return verts, dist[verts]
+
+
+def target_at_percentile(graph, source: int, percentile: float) -> int:
+    """The vertex at the given distance percentile from ``source``.
+
+    ``percentile`` in (0, 100]; 1 = among the 1% closest (an easy query),
+    99 = nearly the farthest (a hard query), matching the paper's usage.
+    """
+    if not (0 < percentile <= 100):
+        raise ValueError("percentile must be in (0, 100]")
+    verts, _ = reachable_by_distance(graph, source)
+    others = verts[1:]  # exclude the source itself
+    if len(others) == 0:
+        raise ValueError(f"source {source} has no reachable targets")
+    rank = int(np.ceil(percentile / 100.0 * len(others))) - 1
+    return int(others[np.clip(rank, 0, len(others) - 1)])
+
+
+def doubling_rank_targets(graph, source: int, *, first_rank: int = 10) -> list[tuple[int, float]]:
+    """Targets at ranks 10, 20, 40, ... plus the farthest vertex (Fig. 4).
+
+    Returns ``(target, percentile)`` pairs; the percentile is the rank as
+    a fraction of the reachable set, for plotting on the paper's axis.
+    """
+    verts, _ = reachable_by_distance(graph, source)
+    others = verts[1:]
+    count = len(others)
+    if count == 0:
+        raise ValueError(f"source {source} has no reachable targets")
+    out: list[tuple[int, float]] = []
+    rank = first_rank
+    while rank < count:
+        out.append((int(others[rank - 1]), 100.0 * rank / count))
+        rank *= 2
+    out.append((int(others[-1]), 100.0))
+    return out
+
+
+def sample_query_pairs(
+    graph,
+    percentile: float,
+    *,
+    num_pairs: int = 5,
+    seed: int = 0,
+) -> list[tuple[int, int]]:
+    """Paper-style query sample: ``num_pairs`` sources from the LCC, each
+    paired with its target at ``percentile``."""
+    rng = np.random.default_rng(seed)
+    lcc = largest_component(graph)
+    sources = rng.choice(lcc, size=num_pairs, replace=len(lcc) < num_pairs)
+    return [(int(s), target_at_percentile(graph, int(s), percentile)) for s in sources]

@@ -1,0 +1,149 @@
+"""Terminal plotting: ASCII line charts and shaded heatmaps.
+
+The experiment modules print tables; these helpers render the same data
+the way the paper's figures look — line series for time-vs-percentile
+(Fig. 4) and speedup curves (Fig. 5), a shaded grid for the batch
+heatmap (Fig. 7) — without any plotting dependency, so a terminal-only
+reproduction still *sees* the shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_line_chart", "ascii_heatmap", "format_si"]
+
+_SERIES_MARKS = "ox+*#@%&"
+_SHADES = " .:-=+*#%@"
+
+
+def format_si(value: float) -> str:
+    """Compact engineering formatting: 1234 -> '1.2k', 0.00123 -> '1.2m'."""
+    if value == 0:
+        return "0"
+    if not math.isfinite(value):
+        return "inf"
+    mag = math.floor(math.log10(abs(value)))
+    for low, suffix, div in ((9, "G", 1e9), (6, "M", 1e6), (3, "k", 1e3)):
+        if mag >= low:
+            return f"{value / div:.3g}{suffix}"
+    if mag < -6:
+        return f"{value * 1e9:.3g}n"
+    if mag < -3:
+        return f"{value * 1e6:.3g}u"
+    if mag < 0:
+        return f"{value * 1e3:.3g}m"
+    return f"{value:.3g}"
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    log_y: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Each series gets a mark character; the legend maps marks to names.
+    ``log_y`` plots log10(y), the natural scale for running times that
+    span orders of magnitude.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts if math.isfinite(y)]
+    if not points:
+        return f"{title}\n(no finite data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_y:
+        ys = [math.log10(max(y, 1e-300)) for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = _SERIES_MARKS[idx % len(_SERIES_MARKS)]
+        legend.append(f"{mark}={name}")
+        for x, y in pts:
+            if not math.isfinite(y):
+                continue
+            yy = math.log10(max(y, 1e-300)) if log_y else y
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((yy - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+
+    top = format_si(10 ** y_hi if log_y else y_hi)
+    bottom = format_si(10 ** y_lo if log_y else y_lo)
+    margin = max(len(top), len(bottom), len(y_label)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = top
+        elif r == height - 1:
+            label = bottom
+        elif r == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(label.rjust(margin) + "|" + "".join(row))
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    x_line = (
+        " " * (margin + 1)
+        + format_si(x_lo)
+        + x_label.center(width - len(format_si(x_lo)) - len(format_si(x_hi)))
+        + format_si(x_hi)
+    )
+    lines.append(x_line)
+    lines.append(" " * (margin + 1) + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    rows: Sequence[str],
+    cols: Sequence[str],
+    values: Mapping[tuple[str, str], float],
+    *,
+    title: str = "",
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Render a labelled grid with density shading (dark = large).
+
+    ``values`` maps (row, col) to a number; missing cells are blank.
+    Each cell also prints its value to 2 significant digits.
+    """
+    finite = [v for v in values.values() if math.isfinite(v)]
+    if not finite:
+        return f"{title}\n(no finite data)"
+    v_lo = lo if lo is not None else min(finite)
+    v_hi = hi if hi is not None else max(finite)
+    span = (v_hi - v_lo) or 1.0
+
+    cell_w = max(6, *(len(c) + 1 for c in cols))
+    label_w = max(len(r) for r in rows) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" " * label_w + "".join(c.rjust(cell_w) for c in cols))
+    for r in rows:
+        cells = []
+        for c in cols:
+            v = values.get((r, c))
+            if v is None or not math.isfinite(v):
+                cells.append("·".rjust(cell_w))
+                continue
+            shade_idx = round((v - v_lo) / span * (len(_SHADES) - 1))
+            shade = _SHADES[min(max(shade_idx, 0), len(_SHADES) - 1)]
+            cells.append(f"{shade}{v:.2f}".rjust(cell_w))
+        lines.append(r.ljust(label_w) + "".join(cells))
+    lines.append(f"(shading: '{_SHADES[0]}' = {v_lo:.2f} ... '{_SHADES[-1]}' = {v_hi:.2f})")
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Statistics helpers used by the experiment harness.
+
+The paper reports geometric means throughout ("when taking the average
+performance across multiple graphs, we always use the geometric mean")
+and normalized heatmaps (Fig. 7); these helpers implement both.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["geometric_mean", "normalize_to_best", "speedup"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; NaN-free and overflow-safe."""
+    logs = []
+    for v in values:
+        if v <= 0 or not math.isfinite(v):
+            raise ValueError(f"geometric mean needs positive finite values, got {v}")
+        logs.append(math.log(v))
+    if not logs:
+        raise ValueError("geometric mean of empty sequence")
+    return math.exp(sum(logs) / len(logs))
+
+
+def normalize_to_best(times: Mapping[str, float]) -> dict[str, float]:
+    """Divide every entry by the minimum (Fig. 7's heatmap normalization)."""
+    finite = [v for v in times.values() if math.isfinite(v)]
+    if not finite:
+        raise ValueError("no finite times to normalize")
+    best = min(finite)
+    if best <= 0:
+        raise ValueError("times must be positive")
+    return {k: (v / best if math.isfinite(v) else math.inf) for k, v in times.items()}
+
+
+def speedup(baseline: float, ours: float) -> float:
+    """How many times faster ``ours`` is than ``baseline``."""
+    if ours <= 0:
+        raise ValueError("time must be positive")
+    return baseline / ours

@@ -1,0 +1,114 @@
+"""Orionet public API: one-call PPSP and batch queries.
+
+This is the library facade most users need:
+
+>>> from repro import ppsp, batch_ppsp
+>>> result = ppsp(graph, s, t, method="bids")
+>>> result.distance, result.path()
+
+Methods map to the paper's algorithms: ``sssp`` (no pruning), ``et``
+(early termination), ``astar``, ``bids``, ``bidastar``; batch methods
+are documented in :mod:`repro.core.batch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .core.batch import BATCH_METHODS, BatchResult, solve_batch
+from .core.engine import RunResult, run_policy
+from .core.paths import stitch_bidirectional_path, walk_path
+from .core.policies import AStar, BiDAStar, BiDS, EarlyTermination, SsspPolicy
+from .core.query_graph import QueryGraph
+from .core.stepping import SteppingStrategy
+
+__all__ = ["ppsp", "batch_ppsp", "PPSPAnswer", "PPSP_METHODS", "BATCH_METHODS"]
+
+PPSP_METHODS = ("sssp", "et", "astar", "bids", "bidastar")
+
+_BIDIRECTIONAL = {"bids", "bidastar"}
+
+
+@dataclass
+class PPSPAnswer:
+    """Result of one point-to-point query.
+
+    ``distance`` is the exact shortest s-t distance (``inf`` when
+    disconnected); ``run`` carries the distance matrix and the work/depth
+    meter for performance analysis.
+    """
+
+    source: int
+    target: int
+    distance: float
+    method: str
+    run: RunResult
+
+    def path(self) -> list[int]:
+        """A shortest s-t vertex path (raises PathError if unreachable)."""
+        if self.source == self.target:
+            return [self.source]
+        graph = self.run.graph
+        if self.method in _BIDIRECTIONAL:
+            return stitch_bidirectional_path(
+                graph, self.run.dist[0], self.run.dist[1], self.source, self.target
+            )
+        return walk_path(graph, self.run.dist[0], self.source, self.target)
+
+    @property
+    def reachable(self) -> bool:
+        return bool(np.isfinite(self.distance))
+
+
+def ppsp(
+    graph,
+    source: int,
+    target: int,
+    *,
+    method: str = "bids",
+    strategy: SteppingStrategy | None = None,
+    memoize: bool = True,
+    heuristic=None,
+    heuristic_to_source=None,
+    heuristic_to_target=None,
+    **engine_kwargs,
+) -> PPSPAnswer:
+    """Exact shortest s-t distance with the chosen algorithm.
+
+    ``astar``/``bidastar`` need vertex coordinates on the graph (or
+    explicit heuristics); all methods accept engine keywords
+    (``frontier_mode``, ``pull_relax``).
+    """
+    if method == "sssp":
+        policy = SsspPolicy(source)
+    elif method == "et":
+        policy = EarlyTermination(source, target)
+    elif method == "astar":
+        policy = AStar(source, target, heuristic=heuristic, memoize=memoize)
+    elif method == "bids":
+        policy = BiDS(source, target)
+    elif method == "bidastar":
+        policy = BiDAStar(
+            source,
+            target,
+            heuristic_to_source=heuristic_to_source,
+            heuristic_to_target=heuristic_to_target,
+            memoize=memoize,
+        )
+    else:
+        raise ValueError(f"unknown method {method!r}; options: {PPSP_METHODS}")
+    run = run_policy(graph, policy, strategy=strategy, **engine_kwargs)
+    if method == "sssp":
+        distance = float(run.answer[target])
+    else:
+        distance = float(run.answer)
+    return PPSPAnswer(
+        source=int(source), target=int(target), distance=distance, method=method, run=run
+    )
+
+
+def batch_ppsp(graph, queries, *, method: str = "multi", **kwargs) -> BatchResult:
+    """Answer a batch of (s, t) queries; see :mod:`repro.core.batch`."""
+    return solve_batch(graph, queries, method=method, **kwargs)

@@ -1,0 +1,19 @@
+"""Comparator implementations: sequential oracles, GraphIt- and MBQ-style."""
+
+from .ch import ContractionHierarchy
+from .dijkstra import bidirectional_dijkstra, dijkstra, dijkstra_ppsp
+from .graphit import graphit_ppsp
+from .mbq import mbq_ppsp
+from .pll import PrunedLandmarkLabeling
+from .pnp import pnp_ppsp
+
+__all__ = [
+    "dijkstra",
+    "dijkstra_ppsp",
+    "bidirectional_dijkstra",
+    "graphit_ppsp",
+    "mbq_ppsp",
+    "pnp_ppsp",
+    "PrunedLandmarkLabeling",
+    "ContractionHierarchy",
+]

@@ -1,0 +1,213 @@
+"""Contraction Hierarchies (Geisberger et al., WEA'08 / Transp. Sci. 2012).
+
+The second canonical preprocessing-based comparator the paper's Sec. 7
+names (alongside PLL): contract vertices in importance order, inserting
+shortcuts that preserve shortest distances among the not-yet-contracted;
+queries then run a bidirectional Dijkstra that only ever moves *upward*
+in the contraction order, touching a tiny fraction of the graph.
+
+Orionet's pitch is being preprocessing-free; CH is the classic point in
+the opposite corner (moderate preprocessing, near-instant queries, great
+on road networks, less so on hub-heavy social graphs where contraction
+produces dense shortcut cores).  ``experiments/ext_preprocessing.py``
+quantifies the tradeoff on our suite.
+
+Implementation notes: lazy-priority contraction with
+``edge_difference + contracted_neighbors`` (the standard heuristic),
+bounded witness searches, undirected graphs only (the paper symmetrizes
+its inputs).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..graphs.csr import from_edges
+
+__all__ = ["ContractionHierarchy"]
+
+
+class ContractionHierarchy:
+    """Preprocess a graph into a CH; query with upward bidirectional Dijkstra.
+
+    Parameters
+    ----------
+    graph : Graph
+        Undirected, nonnegative weights.
+    hop_limit, settle_limit : int
+        Witness-search budgets.  Exhausting a budget without finding a
+        witness just inserts a (possibly unnecessary) shortcut — queries
+        stay exact, preprocessing gets cheaper.
+    """
+
+    def __init__(self, graph, *, hop_limit: int = 5, settle_limit: int = 64) -> None:
+        if graph.directed:
+            raise ValueError("ContractionHierarchy supports undirected graphs only")
+        self.graph = graph
+        self.hop_limit = hop_limit
+        self.settle_limit = settle_limit
+        n = graph.num_vertices
+
+        # Dynamic remaining-graph adjacency: adj[u][v] = weight.  Parallel
+        # edges collapse to the minimum up front.
+        adj: list[dict[int, float]] = [dict() for _ in range(n)]
+        src, dst, w = graph.edges()
+        for u, v, x in zip(src.tolist(), dst.tolist(), w.tolist()):
+            if u == v:
+                continue
+            old = adj[u].get(v)
+            if old is None or x < old:
+                adj[u][v] = x
+        self._adj_snapshot_edges = sum(len(a) for a in adj)
+
+        rank = np.full(n, -1, dtype=np.int64)
+        contracted = np.zeros(n, dtype=bool)
+        deleted_neighbors = np.zeros(n, dtype=np.int64)
+        self.shortcuts_added = 0
+
+        # All edges of the hierarchy (original + shortcuts), collected as
+        # we contract; direction is assigned by final ranks afterwards.
+        all_edges: list[tuple[int, int, float]] = [
+            (int(u), int(v), float(x)) for u, v, x in zip(src, dst, w) if u != v
+        ]
+
+        def simulate(v: int) -> tuple[int, list[tuple[int, int, float]]]:
+            """Shortcuts needed if ``v`` were contracted now."""
+            nbrs = [(u, wu) for u, wu in adj[v].items() if not contracted[u]]
+            shortcuts: list[tuple[int, int, float]] = []
+            for i, (u, wu) in enumerate(nbrs):
+                targets = {x: wu + wx for x, wx in nbrs[i + 1 :]}
+                if not targets:
+                    continue
+                witnessed = self._witness_search(
+                    adj, contracted, u, v, targets, max(targets.values())
+                )
+                for x, through in targets.items():
+                    if not witnessed.get(x, False):
+                        shortcuts.append((u, x, through))
+            return len(shortcuts), shortcuts
+
+        def priority(v: int, num_shortcuts: int) -> float:
+            degree = sum(1 for u in adj[v] if not contracted[u])
+            return (num_shortcuts - degree) + deleted_neighbors[v]
+
+        heap: list[tuple[float, int]] = []
+        for v in range(n):
+            cnt, _ = simulate(v)
+            heapq.heappush(heap, (priority(v, cnt), v))
+
+        next_rank = 0
+        while heap:
+            _, v = heapq.heappop(heap)
+            if contracted[v]:
+                continue
+            # Lazy update: recompute; requeue if no longer the minimum.
+            cnt, shortcuts = simulate(v)
+            prio = priority(v, cnt)
+            if heap and prio > heap[0][0]:
+                heapq.heappush(heap, (prio, v))
+                continue
+            # Contract v.
+            rank[v] = next_rank
+            next_rank += 1
+            contracted[v] = True
+            for u, x, wux in shortcuts:
+                old = adj[u].get(x)
+                if old is None or wux < old:
+                    adj[u][x] = wux
+                    adj[x][u] = wux
+                all_edges.append((u, x, wux))
+                self.shortcuts_added += 1
+            for u in adj[v]:
+                if not contracted[u]:
+                    deleted_neighbors[u] += 1
+
+        self.rank = rank
+        # Upward graph: arcs from lower rank to higher rank only.  For
+        # undirected inputs both query searches climb the same CSR.
+        e = np.array(all_edges, dtype=np.float64).reshape(-1, 3)
+        us = e[:, 0].astype(np.int64)
+        vs = e[:, 1].astype(np.int64)
+        ws = e[:, 2]
+        up_src = np.where(rank[us] < rank[vs], us, vs)
+        up_dst = np.where(rank[us] < rank[vs], vs, us)
+        self.upward = from_edges(
+            up_src, up_dst, ws, num_vertices=n, directed=True, dedupe=True,
+            name=f"{graph.name}+ch-up",
+        )
+
+    # ------------------------------------------------------------------
+    def _witness_search(
+        self,
+        adj: list[dict[int, float]],
+        contracted: np.ndarray,
+        source: int,
+        skip: int,
+        targets: dict[int, float],
+        budget: float,
+    ) -> dict[int, bool]:
+        """Bounded Dijkstra avoiding ``skip``: which targets have a path
+        no longer than their shortcut length?"""
+        dist = {source: 0.0}
+        heap = [(0.0, source)]
+        settled = 0
+        found: dict[int, bool] = {}
+        remaining = set(targets)
+        while heap and settled < self.settle_limit and remaining:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, np.inf):
+                continue
+            settled += 1
+            if u in remaining and d <= targets[u]:
+                found[u] = True
+                remaining.discard(u)
+            if d > budget:
+                break
+            for x, wx in adj[u].items():
+                if x == skip or contracted[x]:
+                    continue
+                nd = d + wx
+                if nd <= budget and nd < dist.get(x, np.inf):
+                    dist[x] = nd
+                    heapq.heappush(heap, (nd, x))
+        return found
+
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int) -> float:
+        """Exact shortest s-t distance via upward bidirectional Dijkstra."""
+        if s == t:
+            return 0.0
+        up = self.upward
+        indptr, indices, weights = up.indptr, up.indices, up.weights
+        n = up.num_vertices
+        best = np.inf
+        dists: list[dict[int, float]] = [{s: 0.0}, {t: 0.0}]
+        heaps = [[(0.0, s)], [(0.0, t)]]
+        done = [set(), set()]
+        while heaps[0] or heaps[1]:
+            side = 0 if (heaps[0] and (not heaps[1] or heaps[0][0][0] <= heaps[1][0][0])) else 1
+            d, u = heapq.heappop(heaps[side])
+            if d > dists[side].get(u, np.inf):
+                continue
+            if d >= best:
+                # Nothing on this side can improve the meet point.
+                heaps[side] = []
+                continue
+            done[side].add(u)
+            other = dists[1 - side].get(u)
+            if other is not None and d + other < best:
+                best = d + other
+            for off in range(indptr[u], indptr[u + 1]):
+                v = int(indices[off])
+                nd = d + weights[off]
+                if nd < dists[side].get(v, np.inf):
+                    dists[side][v] = nd
+                    heapq.heappush(heaps[side], (nd, v))
+        return float(best)
+
+    @property
+    def index_edges(self) -> int:
+        """Arcs in the upward search graph (original + shortcuts)."""
+        return self.upward.num_edges

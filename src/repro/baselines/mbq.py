@@ -1,0 +1,118 @@
+"""Multi Bucket Queue (MBQ) baseline (MBQ-ET / MBQ-A*).
+
+Reimplements the scheduling core of Multi Bucket Queues (Zhang, Posluns,
+Jeffrey — SPAA'24) over our substrate.  MBQ is a relaxed concurrent
+priority scheduler: workers repeatedly pop small batches from the lowest
+nonempty bucket of one of several bucketed queues and process them
+individually.  The properties that matter for the paper's comparison:
+
+* **integer priorities only** — MBQ bitpacks (priority, payload) words,
+  so the paper rounds floating-point distances to integers when feeding
+  MBQ; we do the same (``priority_scale`` controls the rounding);
+* **small pop batches** — scheduling is per-element rather than
+  per-frontier, so the per-step batch is capped (``batch_size``); on the
+  simulated machine this yields much deeper schedules, and in wall-clock
+  terms more Python-level steps, mirroring MBQ's scheduling overhead
+  relative to frontier-based stepping;
+* unidirectional ET/A* only, no memoization — matching the MBQ PPSP
+  implementations evaluated in the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..heuristics.geometric import PointHeuristic
+from ..parallel.cost_model import WorkDepthMeter
+from ..parallel.primitives import expand_ranges
+
+__all__ = ["mbq_ppsp"]
+
+
+def mbq_ppsp(
+    graph,
+    source: int,
+    target: int,
+    *,
+    use_astar: bool = False,
+    batch_size: int = 64,
+    bucket_shift: int = 0,
+    priority_scale: float = 1.0,
+    meter: WorkDepthMeter | None = None,
+) -> float:
+    """MBQ-ET (``use_astar=False``) or MBQ-A* distance query.
+
+    Distances are multiplied by ``priority_scale`` and rounded to int
+    for scheduling (answers are still computed on the true floats);
+    ``bucket_shift`` coarsens priorities as MBQ's bucket mapping does.
+    """
+    n = graph.num_vertices
+    if not (0 <= source < n and 0 <= target < n):
+        raise ValueError("query out of range")
+    meter = meter if meter is not None else WorkDepthMeter()
+    if source == target:
+        return 0.0
+
+    h = None
+    if use_astar:
+        if graph.coords is None:
+            raise ValueError("MBQ-A* needs coordinates")
+        h = PointHeuristic(graph.coords, target, graph.coord_system)
+
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    mu = np.inf
+
+    def int_priority(vertices: np.ndarray) -> np.ndarray:
+        prio = dist[vertices]
+        if h is not None:
+            prio = prio + h(vertices)
+        return (np.maximum(prio, 0.0) * priority_scale).astype(np.int64) >> bucket_shift
+
+    # One bucketed queue simulated as a heap of (bucket, vertex) pairs;
+    # stale entries are detected by re-deriving the bucket on pop.
+    heap: list[tuple[int, int]] = [(int(int_priority(np.array([source]))[0]), source)]
+
+    while heap:
+        # Pop up to batch_size entries from the lowest bucket.
+        lowest = heap[0][0]
+        batch: list[int] = []
+        while heap and heap[0][0] == lowest and len(batch) < batch_size:
+            _, v = heapq.heappop(heap)
+            batch.append(v)
+        verts = np.array(batch, dtype=np.int64)
+        step_work = float(len(verts))
+        # Stale / pruned filtering at pop time.
+        cur_bucket = int_priority(verts)
+        if h is not None:
+            step_work += len(verts)
+        prio_f = dist[verts] + (h(verts) if h is not None else 0.0)
+        live = (cur_bucket <= lowest) & (prio_f < mu)
+        verts = verts[live]
+        if len(verts) == 0:
+            meter.record_step(step_work)
+            continue
+        starts = indptr[verts]
+        counts = indptr[verts + 1] - starts
+        edge_idx = expand_ranges(starts, counts)
+        step_work += float(len(edge_idx))
+        if len(edge_idx):
+            tgt = indices[edge_idx].astype(np.int64)
+            nd = np.repeat(dist[verts], counts) + weights[edge_idx]
+            improving = nd < dist[tgt]
+            if improving.any():
+                tgt_i = tgt[improving]
+                np.minimum.at(dist, tgt_i, nd[improving])
+                if dist[target] < mu:
+                    mu = float(dist[target])
+                tgt_u = np.unique(tgt_i)
+                prios = int_priority(tgt_u)
+                if h is not None:
+                    step_work += len(tgt_u)
+                for p, v in zip(prios, tgt_u):
+                    heapq.heappush(heap, (int(p), int(v)))
+        meter.record_step(step_work)
+    return float(mu)

@@ -1,0 +1,129 @@
+"""Pruned Landmark Labeling (Akiba, Iwata, Yoshida — SIGMOD'13).
+
+The paper's Sec. 7 contrasts Orionet's preprocessing-free methods with
+index-based ones: "preprocessing in shortest-path algorithms is
+double-edged — while queries can be significantly accelerated, the
+preprocessing can also take much time, and sometimes much more space".
+PLL is the canonical such index, so we implement it as the comparator
+for that tradeoff (see ``experiments/ext_preprocessing.py``): after
+building a 2-hop label index, an s-t query is a sorted-list merge —
+microseconds — but preprocessing runs a pruned Dijkstra from *every*
+vertex and the index can dwarf the graph.
+
+Algorithm: process vertices in descending-degree order; from each root
+``r`` run Dijkstra, but prune any vertex ``u`` whose current labels
+already certify ``dist(r, u) <= d`` — otherwise append ``(r, d)`` to
+``u``'s label.  Queries take the min of ``d_s[h] + d_t[h]`` over common
+hubs ``h``.  Undirected graphs only (directed PLL needs two label sets).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["PrunedLandmarkLabeling"]
+
+
+class PrunedLandmarkLabeling:
+    """A 2-hop distance index supporting exact O(label) queries.
+
+    Parameters
+    ----------
+    graph : Graph
+        Undirected, nonnegative-weighted.
+    max_roots : int or None
+        Optional cap on how many roots are processed (a partial index;
+        queries then return upper bounds certified by ``exact=False``).
+        Default: all vertices — exact index.
+    """
+
+    def __init__(self, graph, *, max_roots: int | None = None) -> None:
+        if graph.directed:
+            raise ValueError("PrunedLandmarkLabeling supports undirected graphs only")
+        self.graph = graph
+        n = graph.num_vertices
+        order = np.argsort(-graph.degree())  # hubs first: smallest labels
+        if max_roots is not None:
+            order = order[:max_roots]
+        self.exact = max_roots is None or max_roots >= n
+
+        # Per-vertex labels as parallel lists (hub rank, distance), kept
+        # sorted by hub rank for merge queries.
+        label_hubs: list[list[int]] = [[] for _ in range(n)]
+        label_dists: list[list[float]] = [[] for _ in range(n)]
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(len(order))
+
+        indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+        dist = np.full(n, np.inf)
+
+        for r_rank, root in enumerate(order):
+            root = int(root)
+            heap = [(0.0, root)]
+            dist[root] = 0.0
+            visited = [root]
+            while heap:
+                d, u = heapq.heappop(heap)
+                if d > dist[u]:
+                    continue
+                # Prune: an existing 2-hop path through earlier hubs
+                # already certifies d(root, u) <= d.
+                if self._query_labels(
+                    label_hubs[root], label_dists[root], label_hubs[u], label_dists[u]
+                ) <= d:
+                    continue
+                label_hubs[u].append(r_rank)
+                label_dists[u].append(d)
+                for off in range(indptr[u], indptr[u + 1]):
+                    v = int(indices[off])
+                    nd = d + weights[off]
+                    if nd < dist[v]:
+                        if not np.isfinite(dist[v]):
+                            visited.append(v)
+                        dist[v] = nd
+                        heapq.heappush(heap, (nd, v))
+            for v in visited:
+                dist[v] = np.inf
+            visited.clear()
+
+        self._hubs = [np.array(h, dtype=np.int64) for h in label_hubs]
+        self._dists = [np.array(d) for d in label_dists]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _query_labels(h1, d1, h2, d2) -> float:
+        """Min label-path distance over common hubs (sorted-merge)."""
+        i = j = 0
+        best = np.inf
+        n1, n2 = len(h1), len(h2)
+        while i < n1 and j < n2:
+            a, b = h1[i], h2[j]
+            if a == b:
+                s = d1[i] + d2[j]
+                if s < best:
+                    best = s
+                i += 1
+                j += 1
+            elif a < b:
+                i += 1
+            else:
+                j += 1
+        return best
+
+    def query(self, s: int, t: int) -> float:
+        """Exact shortest s-t distance (inf when disconnected)."""
+        if s == t:
+            return 0.0
+        return float(
+            self._query_labels(self._hubs[s], self._dists[s], self._hubs[t], self._dists[t])
+        )
+
+    @property
+    def index_size(self) -> int:
+        """Total number of stored label entries (space cost)."""
+        return int(sum(len(h) for h in self._hubs))
+
+    def average_label_size(self) -> float:
+        return self.index_size / max(self.graph.num_vertices, 1)

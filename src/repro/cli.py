@@ -1,0 +1,173 @@
+"""Command-line interface: queries and graph tooling without Python code.
+
+Subcommands (``python -m repro <cmd>`` or the installed ``repro-query``
+entry point):
+
+* ``query``    — one PPSP query on a saved graph;
+* ``batch``    — a batch of queries (pairs on the command line or a file);
+* ``generate`` — build a suite-style synthetic graph and save it;
+* ``info``     — Tab.-3-style statistics of a saved graph.
+
+Graphs are read/written in the formats of :mod:`repro.graphs.io`
+(``.npz`` preferred; ``.gr`` DIMACS and plain edge lists accepted).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import batch_ppsp, ppsp
+from .core.query_graph import PATTERNS
+from .graphs import io as graph_io
+from .graphs import knn_graph, road_graph, social_graph, web_graph
+from .graphs.connectivity import approximate_diameter, largest_component
+from .graphs.knn import clustered_points, skewed_points, uniform_points
+
+__all__ = ["main"]
+
+
+def _load_graph(path: str):
+    if path.endswith(".npz"):
+        return graph_io.load_npz(path)
+    if path.endswith(".gr"):
+        return graph_io.read_dimacs(path)
+    return graph_io.read_edge_list(path)
+
+
+def _cmd_query(args) -> int:
+    graph = _load_graph(args.graph)
+    trace = None
+    if args.trace:
+        from .core.tracing import StepTrace
+
+        trace = StepTrace()
+    ans = ppsp(graph, args.source, args.target, method=args.method, trace=trace)
+    payload = {
+        "source": ans.source,
+        "target": ans.target,
+        "method": ans.method,
+        "distance": ans.distance,
+        "reachable": ans.reachable,
+        "steps": ans.run.steps,
+        "relaxations": ans.run.relaxations,
+    }
+    if args.path and ans.reachable:
+        payload["path"] = ans.path()
+    if trace is not None:
+        payload["trace_summary"] = trace.summary()
+    print(json.dumps(payload, indent=2))
+    if trace is not None:
+        print(trace.render(), file=sys.stderr)
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    graph = _load_graph(args.graph)
+    if args.pairs_file:
+        with open(args.pairs_file) as fh:
+            pairs = [tuple(int(x) for x in line.split()[:2]) for line in fh if line.strip()]
+    else:
+        raw = [int(x) for x in args.pairs]
+        if len(raw) % 2:
+            raise SystemExit("need an even number of vertex ids")
+        pairs = list(zip(raw[0::2], raw[1::2]))
+    res = batch_ppsp(graph, pairs, method=args.method)
+    print(json.dumps(
+        {
+            "method": res.method,
+            "num_searches": res.num_searches,
+            "distances": {f"{s}->{t}": d for (s, t), d in sorted(res.distances.items())},
+        },
+        indent=2,
+    ))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.kind == "social":
+        g = social_graph(args.n, seed=args.seed)
+    elif args.kind == "web":
+        g = web_graph(args.n, seed=args.seed)
+    elif args.kind == "road":
+        side = max(int(args.n ** 0.5), 2)
+        g = road_graph(side, side, seed=args.seed)
+    elif args.kind == "knn-uniform":
+        g = knn_graph(uniform_points(args.n, 2, seed=args.seed), k=5)
+    elif args.kind == "knn-clustered":
+        g = knn_graph(clustered_points(args.n, 2, seed=args.seed), k=5)
+    else:
+        g = knn_graph(skewed_points(args.n, 2, seed=args.seed), k=5)
+    g.name = args.kind
+    graph_io.save_npz(args.output, g)
+    print(f"wrote {g!r} to {args.output}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .graphs.validate import validate_graph
+
+    g = _load_graph(args.graph)
+    lcc = largest_component(g)
+    problems = validate_graph(g)
+    print(json.dumps(
+        {
+            "name": g.name,
+            "directed": g.directed,
+            "n": g.num_vertices,
+            "m": g.num_edges,
+            "coord_system": g.coord_system,
+            "diameter_estimate": approximate_diameter(g),
+            "lcc_percent": round(100.0 * len(lcc) / max(g.num_vertices, 1), 2),
+            "problems": problems,
+        },
+        indent=2,
+    ))
+    return 0 if not problems else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("query", help="one point-to-point query")
+    q.add_argument("--graph", required=True)
+    q.add_argument("--source", type=int, required=True)
+    q.add_argument("--target", type=int, required=True)
+    q.add_argument("--method", default="bids",
+                   choices=("sssp", "et", "bids", "astar", "bidastar"))
+    q.add_argument("--path", action="store_true", help="include a shortest path")
+    q.add_argument("--trace", action="store_true",
+                   help="per-step engine trace (summary in JSON, table on stderr)")
+    q.set_defaults(func=_cmd_query)
+
+    b = sub.add_parser("batch", help="a batch of queries")
+    b.add_argument("--graph", required=True)
+    b.add_argument("--method", default="multi",
+                   choices=("multi", "plain-bids", "plain-star-bids", "sssp-plain", "sssp-vc"))
+    b.add_argument("--pairs-file", help="file of 's t' lines")
+    b.add_argument("pairs", nargs="*", help="s1 t1 s2 t2 ...")
+    b.set_defaults(func=_cmd_batch)
+
+    g = sub.add_parser("generate", help="build a synthetic suite-style graph")
+    g.add_argument("--kind", required=True,
+                   choices=("social", "web", "road", "knn-uniform", "knn-clustered", "knn-skewed"))
+    g.add_argument("--n", type=int, default=10_000)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--output", required=True)
+    g.set_defaults(func=_cmd_generate)
+
+    i = sub.add_parser("info", help="statistics of a saved graph")
+    i.add_argument("--graph", required=True)
+    i.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

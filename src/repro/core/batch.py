@@ -1,0 +1,317 @@
+"""Batch PPSP solvers (Sec. 4): Multi-BiDS, plain BiDS, and SSSP-based.
+
+Four strategies over one :class:`~repro.core.query_graph.QueryGraph`,
+matching the columns of the paper's Fig. 7:
+
+* ``multi``        — Multi-BiDS: one engine run searching from every
+  query-graph vertex with per-source radii (Sec. 4.2);
+* ``plain-bids``   — our parallel BiDS per query, one query at a time;
+* ``plain-star-bids`` (the paper's "Plain*") — all per-query BiDS runs
+  launched simultaneously; on the simulated machine their steps overlap;
+* ``sssp-plain``   — full SSSP from every distinct query source;
+* ``sssp-vc``      — full SSSP from a vertex cover of the query graph
+  (Sec. 4.3), the minimum set of SSSPs that answers everything.
+
+Each solver returns a :class:`BatchResult` carrying per-query distances
+and the run's work/depth meter, so simulated parallel times are directly
+comparable across strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..parallel.cost_model import WorkDepthMeter
+from .engine import run_policy
+from .paths import stitch_bidirectional_path, walk_path
+from .policies import BiDS, MultiPPSP, SsspPolicy
+from .query_graph import QueryGraph
+from .stepping import SteppingStrategy
+
+__all__ = ["BatchResult", "solve_batch", "BATCH_METHODS"]
+
+BATCH_METHODS = ("multi", "plain-bids", "plain-star-bids", "sssp-plain", "sssp-vc")
+
+
+@dataclass
+class BatchResult:
+    """Answers for one batch: ``distances[(s, t)]`` per queried pair."""
+
+    distances: dict[tuple[int, int], float]
+    meter: WorkDepthMeter
+    method: str
+    num_searches: int
+    details: dict = field(default_factory=dict)
+    _path_state: dict | None = field(default=None, repr=False)
+
+    def distance(self, s: int, t: int) -> float:
+        if (s, t) in self.distances:
+            return self.distances[(s, t)]
+        return self.distances[(t, s)]
+
+    def path(self, s: int, t: int) -> list[int]:
+        """A shortest vertex path for one queried pair.
+
+        Available for ``multi`` (stitched at the meeting vertex from the
+        two search halves) and the SSSP-based methods (backward walk
+        over the covering row).  The plain per-query BiDS modes discard
+        per-query state; use ``multi`` when paths are needed.
+        """
+        st = self._path_state
+        if st is None:
+            raise NotImplementedError(
+                f"paths are not retained by method {self.method!r}; "
+                "use method='multi' or an SSSP-based method"
+            )
+        if s == t:
+            return [int(s)]
+        if st["kind"] == "chunked":
+            for chunk_state in st["chunks"]:
+                if (s, t) in chunk_state["edge_index"] or (t, s) in chunk_state["edge_index"]:
+                    proxy = BatchResult(
+                        distances={k: self.distances[k] for k in chunk_state["edge_index"]},
+                        meter=self.meter,
+                        method=self.method,
+                        num_searches=self.num_searches,
+                        _path_state=chunk_state,
+                    )
+                    return proxy.path(s, t)
+            raise KeyError(f"({s}, {t}) was not part of this batch")
+        qg: QueryGraph = st["qg"]
+        graph = st["graph"]
+        # Recover the query edge in its stored orientation.
+        key = (s, t) if (s, t) in self.distances else (t, s)
+        if key not in self.distances:
+            raise KeyError(f"({s}, {t}) was not part of this batch")
+        flipped = key != (s, t)
+        ks, kt = key
+        i, j = st["edge_index"][key]
+        if st["kind"] == "multi":
+            path = stitch_bidirectional_path(
+                graph, st["dist"][i], st["dist"][j], ks, kt
+            )
+        else:
+            rows, covered = st["rows"], st["covered"]
+            if i in covered:
+                # Row i holds distances from ks (forward orientation).
+                path = walk_path(graph, rows[i], ks, kt)
+            else:
+                # Row j holds distances from kt: over the reverse graph
+                # for directed target copies, over the graph itself
+                # otherwise; both walk kt -> ks, then flip.
+                g_row = (
+                    graph.reverse()
+                    if graph.directed and qg.direction is not None and qg.direction[j] < 0
+                    else graph
+                )
+                path = walk_path(g_row, rows[j], kt, ks)[::-1]
+        return path[::-1] if flipped else path
+
+
+def solve_batch(
+    graph,
+    queries,
+    *,
+    method: str = "multi",
+    strategy: SteppingStrategy | None = None,
+    strategy_factory=None,
+    max_sources: int | None = None,
+    **engine_kwargs,
+) -> BatchResult:
+    """Answer a batch of PPSP queries.
+
+    ``queries`` is a :class:`QueryGraph` or a sequence of (s, t) pairs.
+    ``strategy_factory`` (a zero-argument callable) is required instead
+    of ``strategy`` for methods that launch several engine runs, since
+    strategies are stateful.
+
+    ``max_sources`` (Multi-BiDS only) bounds concurrent searches: the
+    engine's distance table is ``O(n · |V_q|)``, so very large batches
+    are processed in query-subsets of at most this many endpoints — the
+    space-control strategy of Sec. 4.2 ("process a subset of queries in
+    turn").
+    """
+    qg = queries if isinstance(queries, QueryGraph) else QueryGraph(queries)
+    if method not in BATCH_METHODS:
+        raise ValueError(f"unknown batch method {method!r}; options: {BATCH_METHODS}")
+    if strategy_factory is None:
+        strategy_factory = (lambda: strategy) if strategy is not None else lambda: None
+    if max_sources is not None and method != "multi":
+        raise ValueError("max_sources applies to the 'multi' method only")
+    if method == "multi":
+        if max_sources is not None and qg.num_vertices > max_sources:
+            return _solve_multi_chunked(
+                graph, qg, strategy_factory, engine_kwargs, max_sources
+            )
+        return _solve_multi(graph, qg, strategy_factory(), engine_kwargs)
+    if method == "plain-bids":
+        return _solve_plain_bids(graph, qg, strategy_factory, engine_kwargs, concurrent=False)
+    if method == "plain-star-bids":
+        return _solve_plain_bids(graph, qg, strategy_factory, engine_kwargs, concurrent=True)
+    if method == "sssp-plain":
+        sources = _plain_sssp_sources(qg)
+        return _solve_sssp(graph, qg, sources, strategy_factory, engine_kwargs, "sssp-plain")
+    cover = qg.vertex_cover()
+    return _solve_sssp(graph, qg, cover, strategy_factory, engine_kwargs, "sssp-vc")
+
+
+# ----------------------------------------------------------------------
+def _solve_multi(graph, qg: QueryGraph, strategy, engine_kwargs) -> BatchResult:
+    policy = MultiPPSP(qg)
+    res = run_policy(graph, policy, strategy=strategy, **engine_kwargs)
+    return BatchResult(
+        distances=res.answer,
+        meter=res.meter,
+        method="multi",
+        num_searches=qg.num_vertices,
+        details={"steps": res.steps, "relaxations": res.relaxations},
+        _path_state={
+            "kind": "multi",
+            "graph": graph,
+            "qg": qg,
+            "dist": res.dist,
+            "edge_index": _edge_index(qg),
+        },
+    )
+
+
+def _edge_index(qg: QueryGraph) -> dict[tuple[int, int], tuple[int, int]]:
+    """Map stored (s, t) answer keys to their query-graph edge (i, j)."""
+    verts = qg.vertices
+    return {
+        (int(verts[i]), int(verts[j])): (i, j) for i, j in qg.edges
+    }
+
+
+def _solve_multi_chunked(
+    graph, qg: QueryGraph, strategy_factory, engine_kwargs, max_sources: int
+) -> BatchResult:
+    """Multi-BiDS over query subsets of bounded endpoint count.
+
+    Edges are greedily packed into chunks whose union of endpoints stays
+    within ``max_sources`` (each chunk still shares sources internally),
+    and the chunks run one after another.
+    """
+    if max_sources < 2:
+        raise ValueError("max_sources must be at least 2 (one query)")
+    verts = qg.vertices
+    chunks: list[list[tuple[int, int]]] = []
+    chunk: list[tuple[int, int]] = []
+    endpoints: set[int] = set()
+    for i, j in qg.edges:
+        pair = (int(verts[i]), int(verts[j]))
+        added = {pair[0], pair[1]} - endpoints
+        if chunk and len(endpoints) + len(added) > max_sources:
+            chunks.append(chunk)
+            chunk, endpoints = [], set()
+        chunk.append(pair)
+        endpoints.update(pair)
+    if chunk:
+        chunks.append(chunk)
+
+    distances: dict[tuple[int, int], float] = {}
+    combined = WorkDepthMeter()
+    searches = 0
+    chunk_states: list[dict] = []
+    for pairs in chunks:
+        sub = QueryGraph(pairs, directed=qg.directed)
+        res = _solve_multi(graph, sub, strategy_factory(), engine_kwargs)
+        distances.update(res.distances)
+        combined.merge(res.meter)
+        searches += res.num_searches
+        chunk_states.append(res._path_state)
+    return BatchResult(
+        distances=distances,
+        meter=combined,
+        method="multi",
+        num_searches=searches,
+        details={"chunks": len(chunks), "max_sources": max_sources},
+        _path_state={"kind": "chunked", "chunks": chunk_states},
+    )
+
+
+def _solve_plain_bids(
+    graph, qg: QueryGraph, strategy_factory, engine_kwargs, *, concurrent: bool
+) -> BatchResult:
+    distances: dict[tuple[int, int], float] = {}
+    meters: list[WorkDepthMeter] = []
+    verts = qg.vertices
+    for i, j in qg.edges:
+        s, t = int(verts[i]), int(verts[j])
+        res = run_policy(graph, BiDS(s, t), strategy=strategy_factory(), **engine_kwargs)
+        distances[(s, t)] = res.answer
+        meters.append(res.meter)
+    combined = WorkDepthMeter()
+    if concurrent:
+        combined.merge_parallel(meters)
+    else:
+        for m in meters:
+            combined.merge(m)
+    return BatchResult(
+        distances=distances,
+        meter=combined,
+        method="plain-star-bids" if concurrent else "plain-bids",
+        num_searches=2 * qg.num_edges,
+    )
+
+
+def _plain_sssp_sources(qg: QueryGraph) -> np.ndarray:
+    """All distinct *sources* of the original pairs (the naive strategy)."""
+    src = sorted({s for s, _ in qg.original_pairs})
+    return np.array([qg.index_of(s) for s in src], dtype=np.int64)
+
+
+def _solve_sssp(
+    graph, qg: QueryGraph, source_indices: np.ndarray, strategy_factory, engine_kwargs, name: str
+) -> BatchResult:
+    """Run full SSSP from the given query-graph vertices, combine answers.
+
+    Every query must have at least one endpoint among ``source_indices``
+    (guaranteed for a vertex cover; for ``sssp-plain`` by construction).
+    """
+    verts = qg.vertices
+    rows: dict[int, np.ndarray] = {}
+    combined = WorkDepthMeter()
+    for qi in source_indices:
+        v = int(verts[qi])
+        reverse = (
+            graph.directed
+            and qg.direction is not None
+            and qg.direction[qi] < 0
+        )
+        g = graph.reverse() if reverse else graph
+        res = run_policy(g, SsspPolicy(v), strategy=strategy_factory(), **engine_kwargs)
+        rows[int(qi)] = res.distances_from(0)
+        combined.merge(res.meter)
+    covered = set(int(q) for q in source_indices)
+    distances: dict[tuple[int, int], float] = {}
+    for i, j in qg.edges:
+        s, t = int(verts[i]), int(verts[j])
+        if s == t:
+            # Self-queries are their own answer and need no covering row.
+            distances[(s, t)] = 0.0
+        elif i in covered:
+            distances[(s, t)] = float(rows[i][t])
+        elif j in covered:
+            distances[(s, t)] = float(rows[j][s])
+        else:
+            raise ValueError(
+                f"query ({s}, {t}) not covered by SSSP sources; "
+                f"method {name!r} needs a covering source set"
+            )
+    return BatchResult(
+        distances=distances,
+        meter=combined,
+        method=name,
+        num_searches=len(source_indices),
+        _path_state={
+            "kind": "sssp",
+            "graph": graph,
+            "qg": qg,
+            "rows": rows,
+            "covered": covered,
+            "edge_index": _edge_index(qg),
+        },
+    )

@@ -1,0 +1,334 @@
+"""The PPSP framework engine — the paper's Algorithm 2.
+
+One engine drives every algorithm in Orionet.  A :class:`~repro.core.
+policies.Policy` supplies the three user-defined functions of the
+framework —
+
+* ``Init``   (:meth:`Policy.bind`: seed elements and distances),
+* ``Prune``  (:meth:`Policy.prune_mask`: skip elements that cannot
+  improve any answer),
+* ``UpdateDistance`` (:meth:`Policy.on_relax`: fold freshly relaxed
+  elements into the running answer μ),
+
+while a :class:`~repro.core.stepping.SteppingStrategy` supplies
+``GetDist`` (the per-step threshold θ of Alg. 1).
+
+Searches from multiple sources share one flat distance array indexed by
+*composite element ids* ``e = i * n + v`` — vertex ``v`` searched from
+the ``i``-th source, the paper's ``v^(i)`` copies.  Each step extracts
+all frontier elements with priority <= θ, relaxes their out-edges as one
+vectorized batch (the data-parallel inner loop of the fork-join
+algorithm), applies ``write_min`` over the targets, and feeds the
+successfully relaxed elements to the policy.
+
+Work/depth of every step is recorded in a
+:class:`~repro.parallel.cost_model.WorkDepthMeter` so that simulated
+parallel times (Fig. 5/9) come from the same execution that produced the
+answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..parallel.cost_model import WorkDepthMeter
+from ..parallel.primitives import expand_ranges
+from .frontier import Frontier
+from .stepping import SteppingStrategy, default_strategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..graphs.csr import Graph
+    from .policies import Policy
+
+__all__ = ["PPSPEngine", "RunResult", "run_policy"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run.
+
+    ``dist`` is the ``(k, n)`` tentative-distance matrix at termination
+    (row ``i`` = distances from the ``i``-th source; settled vertices hold
+    true distances).  ``answer`` is whatever the policy's ``result()``
+    returns — a float μ for single queries, a per-query dict for batches.
+    """
+
+    answer: object
+    dist: np.ndarray
+    meter: WorkDepthMeter
+    steps: int
+    relaxations: int
+    policy: "Policy"
+    graph: "Graph"
+
+    def distances_from(self, source_index: int = 0) -> np.ndarray:
+        """Tentative distances from one source (full SSSP row)."""
+        return self.dist[source_index]
+
+
+class PPSPEngine:
+    """Configured executor of the PPSP framework.
+
+    Parameters
+    ----------
+    graph : Graph
+        The input graph.
+    strategy : SteppingStrategy, optional
+        ``GetDist`` plug-in; defaults to untuned Δ*-stepping.
+    frontier_mode : {"auto", "sparse", "dense"}
+        Frontier representation (App. B sparse-dense optimization).
+    pull_relax : bool
+        Enable the bidirectional relaxation optimization (App. B): before
+        pushing from an extracted vertex, pull the best distance from its
+        in-neighbors so it pushes the tightest value it can.
+    max_steps : int or None
+        Safety valve for tests; production runs terminate naturally.
+    """
+
+    def __init__(
+        self,
+        graph: "Graph",
+        *,
+        strategy: SteppingStrategy | None = None,
+        frontier_mode: str = "auto",
+        pull_relax: bool = False,
+        max_steps: int | None = None,
+    ) -> None:
+        self.graph = graph
+        self.strategy = strategy if strategy is not None else default_strategy(graph)
+        self.frontier_mode = frontier_mode
+        self.pull_relax = pull_relax
+        self.max_steps = max_steps
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        policy: "Policy",
+        *,
+        meter: WorkDepthMeter | None = None,
+        trace=None,
+    ) -> RunResult:
+        """Execute Alg. 2 with ``policy`` until the frontier drains.
+
+        ``trace`` (a :class:`~repro.core.tracing.StepTrace`) receives a
+        per-step record of θ, frontier sizes, prune counts, and μ.
+        """
+        graph = self.graph
+        n = graph.num_vertices
+        k = policy.num_sources
+        dist = np.full(k * n, np.inf, dtype=np.float64)
+        meter = meter if meter is not None else WorkDepthMeter()
+        self.strategy.reset()
+
+        seeds, seed_vals = policy.bind(graph, dist)
+        seeds = np.asarray(seeds, dtype=np.int64)
+        dist[seeds] = np.asarray(seed_vals, dtype=np.float64)
+        policy.on_relax(seeds, dist)
+
+        frontier = Frontier(k * n, mode=self.frontier_mode)
+        frontier.add(seeds)
+
+        # Group source indices by the graph they traverse (identical for
+        # undirected inputs; forward/reverse split for directed BiDS).
+        groups = _source_graph_groups(policy, k)
+
+        steps = 0
+        relaxations = 0
+        while len(frontier):
+            if self.max_steps is not None and steps >= self.max_steps:
+                break
+            current = frontier.ids()
+            if policy.finished(current, dist):
+                break
+            prio = policy.priority(current, dist)
+            theta = self.strategy.threshold(prio)
+            take = prio <= theta
+            process = current[take]
+            deferred = current[~take]
+            extracted_count = len(process)
+
+            # Prune both halves: processed elements that cannot contribute
+            # are skipped (line 6 of Alg. 2); stale deferred elements are
+            # dropped so μ improvements shrink the frontier immediately.
+            # While the policy cannot prune yet (μ = ∞) the masks are
+            # skipped wholesale.
+            step_work = float(len(current))
+            pruned_count = 0
+            prunable = policy.prunable()
+            if prunable and len(process):
+                process = process[~policy.prune_mask(process, dist)]
+            if prunable and len(deferred):
+                before_defer = len(deferred)
+                deferred = deferred[~policy.prune_mask(deferred, dist)]
+                pruned_count += before_defer - len(deferred)
+            pruned_count += extracted_count - len(process)
+            frontier.replace(deferred, assume_sorted=True)
+
+            if len(process) == 0:
+                step_work += policy.take_extra_work()
+                meter.record_step(step_work)
+                if trace is not None:
+                    trace.record(
+                        step=steps, theta=float(theta), frontier_size=len(current),
+                        extracted=extracted_count, pruned=pruned_count,
+                        relaxed_edges=0, improved=0, mu=policy.trace_mu(),
+                    )
+                steps += 1
+                continue
+
+            step_edges = 0
+            changed_all: list[np.ndarray] = []
+            for graph_obj, source_mask in groups:
+                if source_mask is None:
+                    batch = process
+                else:
+                    batch = process[source_mask[process // n]]
+                if len(batch) == 0:
+                    continue
+                changed, edge_count = self._relax_batch(graph_obj, batch, dist, n)
+                relaxations += edge_count
+                step_edges += edge_count
+                step_work += len(batch) + edge_count
+                if len(changed):
+                    changed_all.append(changed)
+
+            improved_count = 0
+            if changed_all:
+                changed = np.unique(np.concatenate(changed_all))
+                improved_count = len(changed)
+                step_work += float(len(changed))
+                policy.on_relax(changed, dist)
+                if policy.prunable():
+                    changed = changed[~policy.prune_mask(changed, dist)]
+                    pruned_count += improved_count - len(changed)
+                frontier.add(changed)
+
+            step_work += policy.take_extra_work()
+            meter.record_step(step_work)
+            if trace is not None:
+                trace.record(
+                    step=steps, theta=float(theta), frontier_size=len(current),
+                    extracted=extracted_count, pruned=pruned_count,
+                    relaxed_edges=step_edges, improved=improved_count,
+                    mu=policy.trace_mu(),
+                )
+            steps += 1
+
+        return RunResult(
+            answer=policy.result(),
+            dist=dist.reshape(k, n),
+            meter=meter,
+            steps=steps,
+            relaxations=relaxations,
+            policy=policy,
+            graph=graph,
+        )
+
+    # ------------------------------------------------------------------
+    def _relax_batch(
+        self, graph: "Graph", eids: np.ndarray, dist: np.ndarray, n: int
+    ) -> tuple[np.ndarray, int]:
+        """Relax all out-edges of ``eids`` in one vectorized batch.
+
+        Returns the composite ids whose tentative distance strictly
+        improved, plus the number of edges touched.
+        """
+        indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+        v = eids % n
+        src_off = eids - v  # i * n per element
+
+        if self.pull_relax:
+            self._pull_relax(graph, eids, v, src_off, dist)
+
+        starts = indptr[v]
+        counts = indptr[v + 1] - starts
+        edge_idx = expand_ranges(starts, counts)
+        if len(edge_idx) == 0:
+            return np.empty(0, dtype=np.int64), 0
+        targets = indices[edge_idx].astype(np.int64)
+        new_d = np.repeat(dist[eids], counts) + weights[edge_idx]
+        te = np.repeat(src_off, counts) + targets
+
+        before = dist[te]
+        improving = new_d < before
+        if not improving.any():
+            return np.empty(0, dtype=np.int64), len(edge_idx)
+        te_imp = te[improving]
+        np.minimum.at(dist, te_imp, new_d[improving])
+        # Every unique improving target strictly changed: its final value
+        # is <= the smallest proposal, which was < the pre-batch value.
+        return np.unique(te_imp), len(edge_idx)
+
+    def _pull_relax(
+        self,
+        graph: "Graph",
+        eids: np.ndarray,
+        v: np.ndarray,
+        src_off: np.ndarray,
+        dist: np.ndarray,
+    ) -> None:
+        """Bidirectional relaxation (App. B): tighten δ[u] from in-neighbors."""
+        rev = graph if not graph.directed else graph.reverse()
+        starts = rev.indptr[v]
+        counts = (rev.indptr[v + 1] - starts).astype(np.int64)
+        has = counts > 0
+        if not has.any():
+            return
+        edge_idx = expand_ranges(starts[has], counts[has])
+        nbr = rev.indices[edge_idx].astype(np.int64)
+        ne = np.repeat(src_off[has], counts[has]) + nbr
+        cand = dist[ne] + rev.weights[edge_idx]
+        # Segment-min per extracted element, then write_min into dist.
+        ends = np.cumsum(counts[has])
+        seg_starts = np.concatenate([[0], ends[:-1]])
+        mins = np.minimum.reduceat(cand, seg_starts)
+        np.minimum.at(dist, eids[has], mins)
+
+
+def _source_graph_groups(policy: "Policy", k: int):
+    """Group the k sources by the CSR they traverse.
+
+    Returns a list of ``(graph, source_mask)`` pairs; ``source_mask`` is
+    None when every source shares one graph (the overwhelmingly common
+    undirected case, which then skips the mask gather entirely).
+    """
+    graphs = [policy.source_graph(i) for i in range(k)]
+    if all(g is graphs[0] for g in graphs):
+        return [(graphs[0], None)]
+    groups: list[tuple[object, np.ndarray]] = []
+    seen: dict[int, int] = {}
+    masks: list[np.ndarray] = []
+    objs: list[object] = []
+    for i, g in enumerate(graphs):
+        key = id(g)
+        if key not in seen:
+            seen[key] = len(objs)
+            objs.append(g)
+            masks.append(np.zeros(k, dtype=bool))
+        masks[seen[key]][i] = True
+    return list(zip(objs, masks))
+
+
+def run_policy(
+    graph: "Graph",
+    policy: "Policy",
+    *,
+    strategy: SteppingStrategy | None = None,
+    frontier_mode: str = "auto",
+    pull_relax: bool = False,
+    meter: WorkDepthMeter | None = None,
+    max_steps: int | None = None,
+    trace=None,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`PPSPEngine`."""
+    engine = PPSPEngine(
+        graph,
+        strategy=strategy,
+        frontier_mode=frontier_mode,
+        pull_relax=pull_relax,
+        max_steps=max_steps,
+    )
+    return engine.run(policy, meter=meter, trace=trace)

@@ -1,0 +1,121 @@
+"""Frontier data structures with sparse-dense switching (paper App. B).
+
+A frontier holds *elements*: composite ids ``e = source_index * n + v``
+encoding vertex ``v`` searched from the ``i``-th source (the paper's
+``v^(i)`` copies).  Two representations mirror the C++ implementation:
+
+* **sparse** — a deduplicated id array (the parallel hash bag), cheap
+  when the frontier is a small fraction of the graph;
+* **dense** — a boolean membership array over all ``k*n`` element slots,
+  cheaper per element once the frontier is a constant fraction of ``n``
+  because flag writes beat hash-bag inserts and are cache friendly.
+
+``mode="auto"`` switches per step on a size threshold, as the paper's
+sparse-dense optimization does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Frontier"]
+
+
+class Frontier:
+    """Set of composite element ids with batched add / threshold-extract."""
+
+    #: auto mode goes dense above this fraction of capacity.
+    DENSE_FRACTION = 0.05
+    #: ... and back to sparse below this fraction (hysteresis).
+    SPARSE_FRACTION = 0.02
+
+    def __init__(self, capacity: int, mode: str = "auto") -> None:
+        if mode not in ("auto", "sparse", "dense"):
+            raise ValueError(f"unknown frontier mode {mode!r}")
+        self.capacity = int(capacity)
+        self.mode = mode
+        self._sparse: np.ndarray = np.empty(0, dtype=np.int64)
+        self._dense: np.ndarray | None = None
+        self._use_dense = mode == "dense"
+        if self._use_dense:
+            self._dense = np.zeros(self.capacity, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if self._use_dense:
+            return int(self._dense.sum())
+        return len(self._sparse)
+
+    @property
+    def is_dense(self) -> bool:
+        return self._use_dense
+
+    def ids(self) -> np.ndarray:
+        """Current element ids as a sorted array (a copy)."""
+        if self._use_dense:
+            return np.flatnonzero(self._dense)
+        return self._sparse.copy()
+
+    # ------------------------------------------------------------------
+    def add(self, eids: np.ndarray) -> None:
+        """Insert a batch of element ids (duplicates are collapsed)."""
+        eids = np.asarray(eids, dtype=np.int64)
+        if len(eids) == 0:
+            return
+        if self._use_dense:
+            self._dense[eids] = True
+        else:
+            # unique(concat) beats union1d (one sort pass, no per-input
+            # dedup) on the small hot batches the engine feeds us.
+            self._sparse = np.unique(np.concatenate([self._sparse, eids]))
+        self._maybe_switch()
+
+    def replace(self, eids: np.ndarray, *, assume_sorted: bool = False) -> None:
+        """Reset contents to exactly ``eids`` (assumed deduplicated).
+
+        ``assume_sorted=True`` skips the sort — valid whenever ``eids``
+        is a subsequence of a previous ``ids()`` result, as in the
+        engine's extract/defer split.
+        """
+        eids = np.asarray(eids, dtype=np.int64)
+        if self._use_dense:
+            self._dense[:] = False
+            self._dense[eids] = True
+        else:
+            self._sparse = eids if assume_sorted else np.sort(eids)
+        self._maybe_switch()
+
+    def extract(self, priorities_of, threshold: float) -> np.ndarray:
+        """Remove and return all elements with priority <= ``threshold``.
+
+        ``priorities_of`` maps an id array to its priority array (tentative
+        distance, or distance+heuristic for A*); elements above the
+        threshold stay for later steps — the ``F.Extract(θ)`` of Alg. 2.
+        """
+        current = self.ids()
+        if len(current) == 0:
+            return current
+        prio = priorities_of(current)
+        take = prio <= threshold
+        extracted = current[take]
+        self.replace(current[~take])
+        return extracted
+
+    def clear(self) -> None:
+        self.replace(np.empty(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    def _maybe_switch(self) -> None:
+        if self.mode != "auto":
+            return
+        size = len(self)
+        if not self._use_dense and size > self.DENSE_FRACTION * self.capacity:
+            dense = np.zeros(self.capacity, dtype=bool)
+            dense[self._sparse] = True
+            self._dense = dense
+            self._sparse = np.empty(0, dtype=np.int64)
+            self._use_dense = True
+        elif self._use_dense and size < self.SPARSE_FRACTION * self.capacity:
+            self._sparse = np.flatnonzero(self._dense)
+            self._dense = None
+            self._use_dense = False

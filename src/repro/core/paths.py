@@ -1,0 +1,89 @@
+"""Shortest-path reconstruction from converged distance arrays.
+
+The engine maintains distances, not parent pointers (parent updates
+would add contention in the parallel setting and the paper's queries
+return distances).  Paths are recovered afterwards by the standard
+backward walk: from ``t``, repeatedly step to any in-neighbor ``u`` with
+``dist[u] + w(u, t) == dist[t]``.  For bidirectional runs the forward
+and backward walks are stitched at the meeting vertex
+``argmin_v δ[v^+] + δ[v^-]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["walk_path", "stitch_bidirectional_path", "meeting_vertex", "PathError"]
+
+_REL_TOL = 1e-9
+_ABS_TOL = 1e-9
+
+
+class PathError(RuntimeError):
+    """Raised when no consistent path exists (e.g. unreachable target)."""
+
+
+def walk_path(graph, dist: np.ndarray, source: int, target: int) -> list[int]:
+    """Reconstruct a shortest path ``source -> target`` from SSSP distances.
+
+    ``dist`` must be (at least on the path) converged distances from
+    ``source`` over ``graph``.  Runs the backward walk over in-edges
+    (``graph.reverse()`` handles directed inputs).
+    """
+    if not np.isfinite(dist[target]):
+        raise PathError(f"target {target} unreachable")
+    rev = graph if not graph.directed else graph.reverse()
+    path = [int(target)]
+    v = int(target)
+    # Each hop strictly decreases dist[v], so n iterations suffice for any
+    # graph with positive weights; zero-weight cycles are cut by the
+    # visited set.
+    visited = {v}
+    for _ in range(graph.num_vertices + 1):
+        if v == source:
+            return path[::-1]
+        nbrs = rev.neighbors(v)
+        ws = rev.neighbor_weights(v)
+        ok = np.isclose(dist[nbrs] + ws, dist[v], rtol=_REL_TOL, atol=_ABS_TOL)
+        ok &= np.isfinite(dist[nbrs])
+        candidates = nbrs[ok]
+        nxt = None
+        for u in candidates:
+            if int(u) not in visited:
+                nxt = int(u)
+                break
+        if nxt is None:
+            # Zero-weight plateau may force revisiting; accept any witness.
+            if len(candidates) == 0:
+                raise PathError(f"no predecessor found at vertex {v}")
+            nxt = int(candidates[0])
+        visited.add(nxt)
+        path.append(nxt)
+        v = nxt
+    raise PathError("path reconstruction did not terminate")
+
+
+def meeting_vertex(dist_forward: np.ndarray, dist_backward: np.ndarray) -> int:
+    """The vertex minimizing δ[v^+] + δ[v^-] (lies on a shortest s-t path)."""
+    total = dist_forward + dist_backward
+    best = int(np.argmin(total))
+    if not np.isfinite(total[best]):
+        raise PathError("searches never met: target unreachable")
+    return best
+
+
+def stitch_bidirectional_path(
+    graph, dist_forward: np.ndarray, dist_backward: np.ndarray, s: int, t: int
+) -> list[int]:
+    """Full s-t path from the two halves of a bidirectional run.
+
+    ``dist_forward`` is from ``s`` over the graph; ``dist_backward``
+    from ``t`` over the reverse orientation (== the graph itself when
+    undirected).
+    """
+    m = meeting_vertex(dist_forward, dist_backward)
+    forward = walk_path(graph, dist_forward, s, m)
+    rev = graph if not graph.directed else graph.reverse()
+    backward = walk_path(rev, dist_backward, t, m)
+    # backward is t -> m in the reverse orientation == m -> t in the graph.
+    return forward + backward[::-1][1:]

@@ -1,0 +1,76 @@
+"""Named batch query types — the paper's Sec. 1 taxonomy as an API.
+
+The introduction motivates batch PPSP with five concrete query types;
+each is a one-liner over the query-graph machinery, offered here as the
+interface a downstream application would actually call:
+
+* :func:`ssmt` — single-source many-target ("nearest Walmarts");
+* :func:`pairwise` — all sources × all targets ("stores × warehouses");
+* :func:`multi_stop` — consecutive legs of a trip;
+* :func:`subset_apsp` — all pairs within a vertex subset (the hopset /
+  landmark building block);
+* :func:`arbitrary_batch` — any list of (s, t) pairs.
+
+Each returns the underlying :class:`~repro.core.batch.BatchResult`,
+with a sensible default strategy per type (e.g. SSMT with many targets
+defaults to the SSSP-based solution, the paper's own recommendation).
+"""
+
+from __future__ import annotations
+
+from .batch import BatchResult, solve_batch
+from .query_graph import QueryGraph
+
+__all__ = ["ssmt", "pairwise", "multi_stop", "subset_apsp", "arbitrary_batch"]
+
+#: beyond this many targets, one SSSP beats BiDS-from-everyone for SSMT
+#: (the paper observes the flip at roughly a handful of targets).
+_SSMT_SSSP_THRESHOLD = 5
+
+
+def ssmt(graph, source: int, targets, *, method: str | None = None, **kwargs) -> BatchResult:
+    """Single-source many-target distances.
+
+    With few targets Multi-BiDS wins; with many, the query graph is a
+    star whose vertex cover is just the source, so one SSSP is best —
+    the default picks accordingly (override with ``method=``).
+    """
+    targets = list(targets)
+    if method is None:
+        method = "multi" if len(targets) < _SSMT_SSSP_THRESHOLD else "sssp-vc"
+    qg = QueryGraph.star(source, targets)
+    return solve_batch(graph, qg, method=method, **kwargs)
+
+
+def pairwise(graph, sources, targets, *, method: str = "multi", **kwargs) -> BatchResult:
+    """All-sources-to-all-targets distances (complete bipartite batch)."""
+    qg = QueryGraph.bipartite(list(sources), list(targets))
+    return solve_batch(graph, qg, method=method, **kwargs)
+
+
+def multi_stop(graph, stops, *, method: str = "multi", **kwargs) -> BatchResult:
+    """Distances of consecutive legs of a multi-stop trip (chain batch).
+
+    The result's ``trip_length`` detail sums the legs; disconnected legs
+    make it infinite.
+    """
+    stops = [int(s) for s in stops]
+    qg = QueryGraph.chain(stops)
+    res = solve_batch(graph, qg, method=method, **kwargs)
+    res.details["trip_length"] = sum(
+        res.distance(a, b) for a, b in zip(stops[:-1], stops[1:])
+    )
+    return res
+
+
+def subset_apsp(graph, vertices, *, method: str = "multi", **kwargs) -> BatchResult:
+    """All-pairs distances within ``vertices`` (clique batch).
+
+    The building block the paper cites for hopsets and landmark schemes.
+    """
+    return solve_batch(graph, QueryGraph.clique(list(vertices)), method=method, **kwargs)
+
+
+def arbitrary_batch(graph, pairs, *, method: str = "multi", **kwargs) -> BatchResult:
+    """Any list of (source, target) queries."""
+    return solve_batch(graph, list(pairs), method=method, **kwargs)

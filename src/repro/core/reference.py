@@ -1,0 +1,86 @@
+"""A literal, non-vectorized transcription of Algorithm 2.
+
+The production engine (:mod:`repro.core.engine`) executes the paper's
+framework as batched numpy kernels; this module executes it as the
+paper writes it — explicit loops, one ``write_min`` per edge — to serve
+as a *differential-testing oracle for the framework itself*: both
+implementations consume the same :class:`~repro.core.policies.Policy`
+objects and must produce identical answers (and identical settled
+distances) on every input.  Sequential Dijkstra validates the answers;
+this engine validates the *semantics* — that the vectorized batching,
+pruning order, and μ updates implement the same algorithm.
+
+Deliberately simple and slow; use only in tests and for studying the
+algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["run_policy_reference"]
+
+
+def run_policy_reference(graph, policy, *, strategy=None, max_steps: int | None = None):
+    """Execute Alg. 2 with Python-level loops; returns (answer, dist).
+
+    ``dist`` is the ``(k, n)`` matrix of tentative distances at
+    termination, exactly like the production engine's ``RunResult.dist``.
+    """
+    from .stepping import default_strategy
+
+    n = graph.num_vertices
+    k = policy.num_sources
+    dist = np.full(k * n, math.inf)
+    strategy = strategy if strategy is not None else default_strategy(graph)
+    strategy.reset()
+
+    seeds, seed_vals = policy.bind(graph, dist)
+    seeds = np.asarray(seeds, dtype=np.int64)
+    dist[seeds] = np.asarray(seed_vals, dtype=float)
+    policy.on_relax(np.sort(seeds), dist)
+
+    frontier: set[int] = set(int(e) for e in seeds)
+    graphs = [policy.source_graph(i) for i in range(k)]
+    steps = 0
+
+    while frontier:
+        current = np.array(sorted(frontier), dtype=np.int64)
+        if policy.finished(current, dist):
+            break
+        if max_steps is not None and steps >= max_steps:
+            break
+        prio = policy.priority(current, dist)
+        theta = strategy.threshold(prio)
+
+        extracted = [int(e) for e, p in zip(current, prio) if p <= theta]
+        frontier.difference_update(extracted)
+
+        changed: set[int] = set()
+        for e in extracted:
+            # Line 6: Prune(u)
+            if bool(policy.prune_mask(np.array([e]), dist)[0]):
+                continue
+            i, v = divmod(e, n)
+            g = graphs[i]
+            # Lines 7-8: relax each neighbor with write_min.
+            for off in range(g.indptr[v], g.indptr[v + 1]):
+                u = int(g.indices[off])
+                te = i * n + u
+                nd = dist[e] + g.weights[off]
+                if nd < dist[te]:
+                    dist[te] = nd
+                    changed.add(te)
+
+        if changed:
+            changed_arr = np.array(sorted(changed), dtype=np.int64)
+            # Line 9: UpdateDistance on every successful relaxation.
+            policy.on_relax(changed_arr, dist)
+            # Line 10: re-check Prune before adding to F.
+            keep = ~policy.prune_mask(changed_arr, dist)
+            frontier.update(int(e) for e in changed_arr[keep])
+        steps += 1
+
+    return policy.result(), dist.reshape(k, n)

@@ -1,0 +1,12 @@
+"""Experiment modules: one per paper table/figure, plus extensions.
+
+Paper artifacts: :mod:`table3`, :mod:`table4`, :mod:`fig4` (Fig. 4/8),
+:mod:`fig5` (Fig. 5/9), :mod:`fig6` (Fig. 6/10), :mod:`fig7`.
+Extensions: :mod:`ext_alt`, :mod:`ext_preprocessing`,
+:mod:`ext_strategies`, :mod:`ext_ssmt`.  Run everything with
+``python -m repro.experiments.run_all --scale small``.
+"""
+
+from . import harness, suite
+
+__all__ = ["harness", "suite"]

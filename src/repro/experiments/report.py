@@ -1,0 +1,121 @@
+"""Reproduction report generator.
+
+Reads the JSON artifacts under ``results/`` and emits a markdown
+summary of the headline numbers — the machine-generated counterpart of
+EXPERIMENTS.md, so a fresh reproduction can diff its own outcome
+against the committed narrative:
+
+    python -m repro.experiments.run_all --scale small
+    python -m repro.experiments.report --scale small > my_report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from ..analysis.stats import geometric_mean
+from .harness import results_dir
+
+__all__ = ["build_report", "main"]
+
+_HEUR_GRAPHS = ("AF", "NA", "AS", "EU", "HH5", "CH5", "GL5", "COS5")
+
+
+def _load(name: str) -> dict | None:
+    path = os.path.join(results_dir(), f"{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _ratio(times: dict, a: str, b: str, graphs) -> float | None:
+    try:
+        num = geometric_mean([times[a][g] for g in graphs if g in times[a]])
+        den = geometric_mean([times[b][g] for g in graphs if g in times[b]])
+    except (KeyError, ValueError):
+        return None
+    return num / den
+
+
+def build_report(scale: str = "small") -> str:
+    """Markdown report over whatever artifacts exist for ``scale``."""
+    lines = [f"# Reproduction report (scale={scale})", ""]
+
+    t4 = _load(f"table4_{scale}")
+    if t4:
+        lines.append("## Single PPSP (Tab. 4)")
+        lines.append("")
+        lines.append("| percentile | SSSP/BiD-A* (heur) | ET/BiDS (all) | MBQ-ET/BiDS | GI-ET/BiDS |")
+        lines.append("|---|---|---|---|---|")
+        for p, times in sorted(t4["times"].items(), key=lambda kv: float(kv[0])):
+            allg = list(times.get("sssp", {}).keys())
+            cells = [
+                _ratio(times, "sssp", "bidastar", _HEUR_GRAPHS),
+                _ratio(times, "et", "bids", allg),
+                _ratio(times, "mbq-et", "bids", allg),
+                _ratio(times, "gi-et", "bids", allg),
+            ]
+            row = " | ".join("-" if c is None else f"{c:.2f}x" for c in cells)
+            lines.append(f"| {float(p):g}th | {row} |")
+        if t4.get("mismatches"):
+            lines.append("")
+            lines.append(f"**WARNING**: {len(t4['mismatches'])} answer mismatches!")
+        lines.append("")
+
+    f7 = _load(f"fig7_{scale}")
+    if f7:
+        lines.append("## Batch PPSP (Fig. 7) — GEOMEAN normalized times")
+        lines.append("")
+        methods = None
+        for pattern, by_method in f7["geomeans"].items():
+            if methods is None:
+                methods = list(by_method.keys())
+                lines.append("| pattern | " + " | ".join(methods) + " |")
+                lines.append("|" + "---|" * (len(methods) + 1))
+            row = " | ".join(f"{by_method[m]:.2f}" for m in methods)
+            lines.append(f"| {pattern} | {row} |")
+        lines.append("")
+
+    f6 = _load(f"fig6_{scale}")
+    if f6:
+        lines.append("## Memoization (Fig. 6) — relative to ET (higher better)")
+        lines.append("")
+        variants = None
+        for cat, vals in f6["means"].items():
+            if variants is None:
+                variants = list(vals.keys())
+                lines.append("| category | " + " | ".join(variants) + " |")
+                lines.append("|" + "---|" * (len(variants) + 1))
+            lines.append(f"| {cat} | " + " | ".join(f"{vals[v]:.2f}" for v in variants) + " |")
+        lines.append("")
+
+    ssmt = _load(f"ext_ssmt_{scale}")
+    if ssmt:
+        lines.append("## SSMT crossover (targets where one SSSP overtakes Multi-BiDS)")
+        lines.append("")
+        for gname, row in ssmt.items():
+            cross = row.get("crossover_targets")
+            lines.append(f"- {gname} ({row.get('category')}): "
+                         f"{'>sweep' if cross is None else cross}")
+        lines.append("")
+
+    if len(lines) <= 2:
+        lines.append(f"No artifacts found for scale={scale!r} in {results_dir()!r}.")
+        lines.append("Run: python -m repro.experiments.run_all --scale " + scale)
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=("tiny", "small", "medium"))
+    args = parser.parse_args(argv)
+    report = build_report(args.scale)
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

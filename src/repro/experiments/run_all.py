@@ -1,0 +1,76 @@
+"""One-command reproduction driver.
+
+``python -m repro.experiments.run_all --scale small`` regenerates every
+paper artifact (Tab. 3, Tab. 4, Fig. 4–7) plus the extension
+experiments, in dependency-friendly order, writing logs and JSON under
+``results/``.  Individual artifacts remain runnable via their own
+modules; this driver exists so a fresh clone can reproduce EXPERIMENTS.md
+with a single invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import os
+import time
+
+from . import fig1
+from . import ext_alt, ext_directed, ext_preprocessing, ext_ssmt, ext_strategies, fig4, fig5, fig6, fig7, table3, table4
+from .harness import results_dir
+
+__all__ = ["main", "ARTIFACTS"]
+
+#: name -> (module, extra argv); ordered cheap-to-expensive.
+ARTIFACTS = [
+    ("table3", table3, []),
+    ("fig1", fig1, []),
+    ("fig6", fig6, []),
+    ("fig4", fig4, []),
+    ("fig5", fig5, []),
+    ("fig7", fig7, []),
+    ("ext_strategies", ext_strategies, []),
+    ("ext_ssmt", ext_ssmt, []),
+    ("ext_directed", ext_directed, []),
+    ("ext_alt", ext_alt, []),
+    # Index preprocessing is Θ(n · Dijkstra) in Python: pinned to
+    # tiny scale regardless of the driver scale (later --scale wins).
+    ("ext_preprocessing", ext_preprocessing, ["--scale", "tiny"]),
+    ("table4", table4, []),
+]
+
+
+def main(argv: list[str] | None = None) -> dict[str, float]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=("tiny", "small", "medium"))
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="subset of artifact names to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = results_dir()
+    durations: dict[str, float] = {}
+    for name, module, extra in ARTIFACTS:
+        if args.only is not None and name not in args.only:
+            continue
+        log_path = os.path.join(out_dir, f"{name}_{args.scale}.log")
+        print(f"[run_all] {name} (scale={args.scale}) -> {log_path}", flush=True)
+        t0 = time.perf_counter()
+        buffer = io.StringIO()
+        module_args = ["--scale", args.scale] + extra
+        with contextlib.redirect_stdout(buffer):
+            module.main(module_args)
+        elapsed = time.perf_counter() - t0
+        with open(log_path, "w") as fh:
+            fh.write(buffer.getvalue())
+        durations[name] = elapsed
+        print(f"[run_all] {name} done in {elapsed:.1f}s", flush=True)
+    total = sum(durations.values())
+    print(f"[run_all] complete: {len(durations)} artifacts in {total:.1f}s")
+    return durations
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""The 14-graph evaluation suite (paper Tab. 3), scaled for Python.
+
+Each paper dataset is replaced by a synthetic analog from the same
+category with the same qualitative properties (see DESIGN.md).  Sizes
+are controlled by a ``scale`` knob:
+
+* ``tiny``   — seconds-per-experiment, used by tests and pytest-benchmark;
+* ``small``  — the default for ``python -m repro.experiments.*``;
+* ``medium`` — closer shapes, minutes per experiment.
+
+Graphs are cached in-process (and optionally on disk) because suite
+construction — especially k-NN — is itself nontrivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..graphs import (
+    Graph,
+    knn_graph,
+    road_graph,
+    social_graph,
+    web_graph,
+)
+from ..graphs.knn import clustered_points, skewed_points, uniform_points
+
+__all__ = ["GraphSpec", "SUITE", "build_graph", "build_suite", "SCALES", "graphs_with_coords"]
+
+SCALES = {"tiny": 0.06, "small": 0.3, "medium": 1.0}
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """One suite entry: paper dataset name -> generator recipe."""
+
+    name: str
+    category: str  # social | web | road | knn
+    builder: Callable[[float], Graph]
+    paper_counterpart: str
+
+    def build(self, scale: str = "small") -> Graph:
+        factor = SCALES[scale]
+        g = self.builder(factor)
+        g.name = self.name
+        return g
+
+
+def _social(n: int, deg: float, exponent: float, seed: int):
+    return lambda f: social_graph(max(int(n * f), 64), avg_degree=deg, seed=seed)
+
+
+def _web(n: int, deg: float, seed: int):
+    return lambda f: web_graph(max(int(n * f), 64), avg_degree=deg, seed=seed)
+
+
+def _road(side: int, seed: int):
+    def make(f: float) -> Graph:
+        s = max(int(side * np.sqrt(f)), 8)
+        return road_graph(s, s, seed=seed)
+
+    return make
+
+
+def _knn(n: int, kind: str, dim: int, seed: int):
+    def make(f: float) -> Graph:
+        count = max(int(n * f), 64)
+        if kind == "uniform":
+            pts = uniform_points(count, dim, seed=seed)
+        elif kind == "clustered":
+            pts = clustered_points(count, dim, seed=seed)
+        else:
+            pts = skewed_points(count, dim, seed=seed)
+        return knn_graph(pts, k=5)
+
+    return make
+
+
+#: Ordered as in the paper's Tab. 3.
+SUITE: list[GraphSpec] = [
+    GraphSpec("OK", "social", _social(20_000, 30.0, 2.3, 101), "com-orkut"),
+    GraphSpec("LJ", "social", _social(30_000, 14.0, 2.3, 102), "soc-LiveJournal1"),
+    GraphSpec("TW", "social", _social(50_000, 36.0, 2.1, 103), "Twitter"),
+    GraphSpec("FS", "social", _social(60_000, 24.0, 2.4, 104), "Friendster"),
+    GraphSpec("IT", "web", _web(40_000, 22.0, 105), "it-2004"),
+    GraphSpec("SD", "web", _web(60_000, 20.0, 106), "sd_arc"),
+    GraphSpec("AF", "road", _road(130, 107), "Africa (OSM)"),
+    GraphSpec("NA", "road", _road(200, 108), "North-America (OSM)"),
+    GraphSpec("AS", "road", _road(210, 109), "Asia (OSM)"),
+    GraphSpec("EU", "road", _road(250, 110), "Europe (OSM)"),
+    GraphSpec("HH5", "knn", _knn(15_000, "uniform", 3, 111), "Household"),
+    GraphSpec("CH5", "knn", _knn(20_000, "skewed", 2, 112), "CHEM"),
+    GraphSpec("GL5", "knn", _knn(30_000, "clustered", 2, 113), "GeoLife"),
+    GraphSpec("COS5", "knn", _knn(60_000, "uniform", 3, 114), "Cosmo50"),
+]
+
+_SPEC_BY_NAME = {s.name: s for s in SUITE}
+_CACHE: dict[tuple[str, str], Graph] = {}
+
+
+def build_graph(name: str, scale: str = "small") -> Graph:
+    """Build (or fetch from cache) one suite graph by paper name."""
+    key = (name, scale)
+    if key not in _CACHE:
+        _CACHE[key] = _SPEC_BY_NAME[name].build(scale)
+    return _CACHE[key]
+
+
+def build_suite(scale: str = "small", *, categories: tuple[str, ...] | None = None):
+    """Yield ``(spec, graph)`` for the whole suite (or chosen categories)."""
+    for spec in SUITE:
+        if categories is not None and spec.category not in categories:
+            continue
+        yield spec, build_graph(spec.name, scale)
+
+
+def graphs_with_coords(scale: str = "small"):
+    """The road + k-NN subset where A* applies (paper's "Heur." columns)."""
+    return build_suite(scale, categories=("road", "knn"))

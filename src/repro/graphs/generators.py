@@ -1,0 +1,98 @@
+"""Synthetic graph generators standing in for the paper's datasets.
+
+The paper evaluates on four graph categories (Tab. 3): social networks,
+web graphs, road networks, and k-NN graphs.  Those datasets are
+million-to-billion scale downloads; here each category is reproduced by a
+scaled-down generator that preserves the properties the evaluation turns
+on — degree skew and small diameter for social/web, large diameter plus
+coordinates for road/k-NN (see DESIGN.md, substitutions table).
+
+Social and web graphs get uniform random integer weights in
+``[1, 2^18]``, exactly the paper's weighting scheme for weight-less
+inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import Graph, from_edges
+
+__all__ = [
+    "chung_lu_graph",
+    "social_graph",
+    "web_graph",
+    "uniform_random_weights",
+    "WEIGHT_RANGE",
+]
+
+# The paper: "we generate the weights uniformly at random in [1, 2^18]".
+WEIGHT_RANGE = (1.0, float(2**18))
+
+
+def chung_lu_graph(
+    n: int,
+    avg_degree: float,
+    *,
+    exponent: float = 2.5,
+    seed: int = 0,
+    name: str = "chung-lu",
+) -> Graph:
+    """Power-law random graph via the Chung–Lu model.
+
+    Vertex ``i`` receives expected-degree weight ``(i+1)^(-1/(exponent-1))``
+    (a power law with tail exponent ``exponent``); edges are sampled by
+    picking endpoints proportionally to those weights.  Parallel edges and
+    self-loops are discarded, so realized average degree lands slightly
+    under ``avg_degree``.
+    """
+    if n < 2:
+        raise ValueError("need at least two vertices")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    w = ranks ** (-1.0 / (exponent - 1.0))
+    p = w / w.sum()
+    target_edges = int(n * avg_degree / 2)
+    # Oversample to compensate for dropped loops/duplicates.
+    m_sample = int(target_edges * 1.3) + 8
+    src = rng.choice(n, size=m_sample, p=p)
+    dst = rng.choice(n, size=m_sample, p=p)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    # Canonicalize undirected pairs then dedupe.
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    key = lo.astype(np.int64) * n + hi
+    _, first = np.unique(key, return_index=True)
+    lo, hi = lo[first], hi[first]
+    if len(lo) > target_edges:
+        pick = rng.permutation(len(lo))[:target_edges]
+        lo, hi = lo[pick], hi[pick]
+    weights = uniform_random_weights(len(lo), rng)
+    return from_edges(lo, hi, weights, num_vertices=n, directed=False, name=name)
+
+
+def social_graph(n: int, *, avg_degree: float = 16.0, seed: int = 0, name: str = "social") -> Graph:
+    """Social-network analog: dense power-law graph, small diameter.
+
+    Mirrors the paper's OK/LJ/TW/FS category (heavy-tailed degrees, hop
+    diameter ~10–40, no coordinates).
+    """
+    return chung_lu_graph(n, avg_degree, exponent=2.3, seed=seed, name=name)
+
+
+def web_graph(n: int, *, avg_degree: float = 12.0, seed: int = 0, name: str = "web") -> Graph:
+    """Web-graph analog: more skewed power law than social graphs.
+
+    Mirrors IT/SD: a few extreme hubs, slightly larger diameter.  The paper
+    symmetrizes its (directed) web crawls, so we generate undirected.
+    """
+    return chung_lu_graph(n, avg_degree, exponent=2.1, seed=seed, name=name)
+
+
+def uniform_random_weights(
+    m: int, rng: np.random.Generator, weight_range: tuple[float, float] = WEIGHT_RANGE
+) -> np.ndarray:
+    """Integer-valued uniform weights in ``weight_range`` (paper's scheme)."""
+    lo, hi = weight_range
+    return rng.integers(int(lo), int(hi) + 1, size=m).astype(np.float64)

@@ -1,0 +1,114 @@
+"""Graph serialization: simple edge-list and DIMACS ``.gr`` formats.
+
+Real deployments of the paper's system read DIMACS shortest-path
+challenge files and binary edge lists; we support a text subset of both
+plus an ``.npz`` fast path so experiment suites can cache generated
+graphs between runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .csr import Graph, from_edges
+
+__all__ = ["save_npz", "load_npz", "write_dimacs", "read_dimacs", "write_edge_list", "read_edge_list"]
+
+
+def save_npz(path: str | os.PathLike, graph: Graph) -> None:
+    """Store a graph (topology, weights, coords) as a compressed .npz."""
+    payload = dict(
+        indptr=graph.indptr,
+        indices=graph.indices,
+        weights=graph.weights,
+        directed=np.array(graph.directed),
+        name=np.array(graph.name),
+    )
+    if graph.coords is not None:
+        payload["coords"] = graph.coords
+        payload["coord_system"] = np.array(graph.coord_system or "")
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: str | os.PathLike) -> Graph:
+    """Inverse of :func:`save_npz`."""
+    data = np.load(path, allow_pickle=False)
+    coords = data["coords"] if "coords" in data else None
+    coord_system = str(data["coord_system"]) if "coord_system" in data else None
+    return Graph(
+        indptr=data["indptr"],
+        indices=data["indices"],
+        weights=data["weights"],
+        directed=bool(data["directed"]),
+        coords=coords,
+        coord_system=coord_system or None,
+        name=str(data["name"]),
+    )
+
+
+def write_dimacs(path: str | os.PathLike, graph: Graph) -> None:
+    """Write DIMACS shortest-path format (``p sp n m`` header, 1-indexed).
+
+    Undirected graphs emit both stored arcs, matching how DIMACS road
+    files list each road twice.
+    """
+    src, dst, w = graph.edges()
+    with open(path, "w") as fh:
+        fh.write(f"c graph {graph.name}\n")
+        fh.write(f"p sp {graph.num_vertices} {graph.num_edges}\n")
+        for u, v, x in zip(src, dst, w):
+            fh.write(f"a {u + 1} {v + 1} {x:.6f}\n")
+
+
+def read_dimacs(path: str | os.PathLike, *, directed: bool = True, name: str | None = None) -> Graph:
+    """Read DIMACS ``.gr``: arcs are taken as-is (set directed=False to symmetrize)."""
+    srcs: list[int] = []
+    dsts: list[int] = []
+    ws: list[float] = []
+    n = 0
+    with open(path) as fh:
+        for line in fh:
+            if line.startswith("p"):
+                parts = line.split()
+                n = int(parts[2])
+            elif line.startswith("a"):
+                _, u, v, w = line.split()
+                srcs.append(int(u) - 1)
+                dsts.append(int(v) - 1)
+                ws.append(float(w))
+    return from_edges(
+        np.array(srcs, dtype=np.int64),
+        np.array(dsts, dtype=np.int64),
+        np.array(ws),
+        num_vertices=n or None,
+        directed=directed,
+        name=name or os.path.basename(str(path)),
+    )
+
+
+def write_edge_list(path: str | os.PathLike, graph: Graph) -> None:
+    """Plain whitespace ``u v w`` lines, 0-indexed."""
+    src, dst, w = graph.edges()
+    np.savetxt(path, np.column_stack([src, dst, w]), fmt=("%d", "%d", "%.9g"))
+
+
+def read_edge_list(
+    path: str | os.PathLike, *, directed: bool = True, name: str | None = None
+) -> Graph:
+    """Inverse of :func:`write_edge_list`."""
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)  # empty-file warning
+        data = np.loadtxt(path, ndmin=2)
+    if data.size == 0:
+        return from_edges([], [], [], num_vertices=0, directed=directed)
+    return from_edges(
+        data[:, 0].astype(np.int64),
+        data[:, 1].astype(np.int64),
+        data[:, 2],
+        directed=directed,
+        name=name or os.path.basename(str(path)),
+    )

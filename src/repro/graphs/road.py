@@ -1,0 +1,97 @@
+"""Synthetic road-network generator with spherical coordinates.
+
+Stands in for the paper's OpenStreetMap road graphs (AF/NA/AS/EU):
+large-diameter, nearly-planar graphs whose vertices carry lon/lat
+coordinates and whose edge weights are road lengths.  We lay vertices on
+a jittered grid over a lon/lat box, connect grid neighbors (with random
+deletions to create detours), and set each weight to the great-circle
+distance times a detour factor ``>= 1`` — which keeps the spherical
+heuristic admissible and consistent, as with real road lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import Graph, from_edges
+from ..heuristics.geometric import spherical_distance
+
+__all__ = ["road_graph"]
+
+
+def road_graph(
+    rows: int,
+    cols: int,
+    *,
+    seed: int = 0,
+    lon_range: tuple[float, float] = (-20.0, 20.0),
+    lat_range: tuple[float, float] = (-15.0, 15.0),
+    drop_fraction: float = 0.08,
+    diagonal_fraction: float = 0.05,
+    max_detour: float = 1.3,
+    name: str = "road",
+) -> Graph:
+    """Build a ``rows x cols`` jittered-grid road network.
+
+    Parameters
+    ----------
+    drop_fraction : float
+        Fraction of grid edges removed (creates detours / irregularity).
+        Removal is rejected when it would disconnect too much: we simply
+        keep the graph's LCC dominant by bounding the fraction.
+    diagonal_fraction : float
+        Fraction of cells that get a diagonal "shortcut" road.
+    max_detour : float
+        Edge weight = spherical distance * U(1, max_detour); the factor
+        models roads being longer than the crow flies.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("grid must be at least 2x2")
+    if not (0.0 <= drop_fraction < 0.5):
+        raise ValueError("drop_fraction must be in [0, 0.5)")
+    if max_detour < 1.0:
+        raise ValueError("max_detour must be >= 1 for heuristic admissibility")
+    rng = np.random.default_rng(seed)
+    n = rows * cols
+
+    lon_step = (lon_range[1] - lon_range[0]) / max(cols - 1, 1)
+    lat_step = (lat_range[1] - lat_range[0]) / max(rows - 1, 1)
+    rr, cc = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    lon = lon_range[0] + cc.ravel() * lon_step
+    lat = lat_range[0] + rr.ravel() * lat_step
+    # Jitter within a fraction of the cell so edges never invert order.
+    lon = lon + rng.uniform(-0.3, 0.3, size=n) * lon_step
+    lat = lat + rng.uniform(-0.3, 0.3, size=n) * lat_step
+    coords = np.column_stack([lon, lat])
+
+    vid = np.arange(n).reshape(rows, cols)
+    right_src = vid[:, :-1].ravel()
+    right_dst = vid[:, 1:].ravel()
+    down_src = vid[:-1, :].ravel()
+    down_dst = vid[1:, :].ravel()
+    src = np.concatenate([right_src, down_src])
+    dst = np.concatenate([right_dst, down_dst])
+
+    keep = rng.random(len(src)) >= drop_fraction
+    src, dst = src[keep], dst[keep]
+
+    if diagonal_fraction > 0:
+        diag_src = vid[:-1, :-1].ravel()
+        diag_dst = vid[1:, 1:].ravel()
+        pick = rng.random(len(diag_src)) < diagonal_fraction
+        src = np.concatenate([src, diag_src[pick]])
+        dst = np.concatenate([dst, diag_dst[pick]])
+
+    base = spherical_distance(coords[src], coords[dst])
+    detour = rng.uniform(1.0, max_detour, size=len(src))
+    weights = base * detour
+    return from_edges(
+        src,
+        dst,
+        weights,
+        num_vertices=n,
+        directed=False,
+        coords=coords,
+        coord_system="spherical",
+        name=name,
+    )

@@ -1,0 +1,84 @@
+"""Graph invariant checking: the contract every algorithm relies on.
+
+``validate_graph`` inspects a :class:`~repro.graphs.csr.Graph` and
+returns a list of human-readable problems (empty = sound).  The checks
+are exactly the preconditions the engine and baselines assume, so the
+validator is the right first call when debugging a graph loaded from an
+external file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import Graph
+
+__all__ = ["validate_graph", "assert_valid"]
+
+
+def validate_graph(graph: Graph, *, require_symmetric: bool | None = None) -> list[str]:
+    """All detected contract violations, worst first.
+
+    ``require_symmetric`` defaults to ``not graph.directed``: undirected
+    graphs must store both arcs of every edge with equal weights.
+    """
+    problems: list[str] = []
+    n = graph.num_vertices
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+
+    if len(indptr) == 0:
+        problems.append("indptr is empty")
+        return problems  # everything else derives from indptr
+    if indptr[0] != 0:
+        problems.append("indptr[0] != 0")
+    if np.any(np.diff(indptr) < 0):
+        problems.append("indptr is not nondecreasing")
+    if indptr[-1] != len(indices):
+        problems.append(f"indptr[-1]={indptr[-1]} != len(indices)={len(indices)}")
+    if len(indices) != len(weights):
+        problems.append("indices and weights lengths differ")
+
+    if len(indices):
+        if indices.min() < 0 or indices.max() >= n:
+            problems.append("edge endpoint out of [0, n)")
+        if not np.isfinite(weights).all():
+            problems.append("non-finite edge weight")
+        elif weights.min() < 0:
+            problems.append("negative edge weight (shortest paths assume nonnegative)")
+
+    if graph.coords is not None:
+        if graph.coords.shape[0] != n:
+            problems.append("coords row count != n")
+        if not np.isfinite(graph.coords).all():
+            problems.append("non-finite coordinate")
+        if graph.coord_system not in ("euclidean", "spherical"):
+            problems.append(f"unknown coord_system {graph.coord_system!r}")
+        elif graph.coord_system == "spherical":
+            lon, lat = graph.coords[:, 0], graph.coords[:, 1]
+            if (np.abs(lat) > 90.0).any() or (np.abs(lon) > 360.0).any():
+                problems.append("spherical coords outside lon/lat ranges")
+
+    check_sym = require_symmetric if require_symmetric is not None else not graph.directed
+    if check_sym and not problems and len(indices):
+        src, dst, w = graph.edges()
+        fwd = {}
+        for u, v, x in zip(src.tolist(), dst.tolist(), w.tolist()):
+            key = (u, v)
+            fwd[key] = min(x, fwd.get(key, np.inf))
+        for (u, v), x in fwd.items():
+            back = fwd.get((v, u))
+            if back is None:
+                problems.append(f"missing reverse arc for ({u}, {v})")
+                break
+            if not np.isclose(back, x, rtol=1e-9, atol=1e-12):
+                problems.append(f"asymmetric weights on edge ({u}, {v}): {x} vs {back}")
+                break
+
+    return problems
+
+
+def assert_valid(graph: Graph, **kwargs) -> None:
+    """Raise ``ValueError`` listing every violation (for tests/loaders)."""
+    problems = validate_graph(graph, **kwargs)
+    if problems:
+        raise ValueError("invalid graph:\n  " + "\n  ".join(problems))

@@ -1,0 +1,27 @@
+"""Heuristics for A*-family searches: geometric distances and landmarks."""
+
+from .landmarks import LandmarkHeuristic, LandmarkSet, select_landmarks_farthest
+from .geometric import (
+    EARTH_RADIUS_KM,
+    Heuristic,
+    MemoizedHeuristic,
+    PointHeuristic,
+    ZeroHeuristic,
+    euclidean_distance,
+    make_heuristic,
+    spherical_distance,
+)
+
+__all__ = [
+    "LandmarkSet",
+    "LandmarkHeuristic",
+    "select_landmarks_farthest",
+    "EARTH_RADIUS_KM",
+    "Heuristic",
+    "MemoizedHeuristic",
+    "PointHeuristic",
+    "ZeroHeuristic",
+    "euclidean_distance",
+    "make_heuristic",
+    "spherical_distance",
+]

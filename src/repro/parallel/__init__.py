@@ -1,0 +1,21 @@
+"""Simulated parallel machine: cost model, fork-join simulator, primitives."""
+
+from .cost_model import WorkDepthMeter, simulated_time, speedup_curve
+from .forkjoin import ForkJoinSimulator, Task, fork, leaf, parallel_for_task
+from .primitives import dedup, exclusive_scan, expand_ranges, pack, write_min
+
+__all__ = [
+    "WorkDepthMeter",
+    "simulated_time",
+    "speedup_curve",
+    "ForkJoinSimulator",
+    "Task",
+    "fork",
+    "leaf",
+    "parallel_for_task",
+    "write_min",
+    "pack",
+    "dedup",
+    "exclusive_scan",
+    "expand_ranges",
+]

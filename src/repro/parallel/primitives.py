@@ -1,0 +1,81 @@
+"""Data-parallel primitives in the vectorized-batch execution style.
+
+Each primitive is the numpy realization of the parallel operation the
+paper's C++ code performs with ParlayLib, together with its fork-join
+work/span so callers can charge a :class:`~repro.parallel.cost_model.
+WorkDepthMeter` honestly:
+
+=====================  ======  ============
+primitive              work    span
+=====================  ======  ============
+``write_min``          O(k)    O(log k)
+``pack`` (filter)      O(k)    O(log k)
+``dedup``              O(k)    O(log k)
+``exclusive_scan``     O(k)    O(log k)
+=====================  ======  ============
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["write_min", "pack", "dedup", "exclusive_scan", "expand_ranges"]
+
+
+def write_min(values: np.ndarray, idx: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Batched atomic ``write_min``: lower ``values[idx]`` to ``candidates``.
+
+    Returns the boolean success mask per candidate — ``True`` where the
+    candidate is strictly below the value *present before this batch*
+    (i.e. the CAS would have succeeded at least once).  Mirrors the
+    paper's write_min(p, v) primitive applied by a whole parallel-for.
+    """
+    idx = np.asarray(idx)
+    candidates = np.asarray(candidates)
+    before = values[idx]
+    np.minimum.at(values, idx, candidates)
+    return candidates < before
+
+
+def pack(array: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Parallel filter (ParlayLib ``pack``)."""
+    return array[mask]
+
+
+def dedup(array: np.ndarray) -> np.ndarray:
+    """Remove duplicates (semisort + pack in the parallel setting)."""
+    return np.unique(array)
+
+
+def exclusive_scan(array: np.ndarray) -> tuple[np.ndarray, float]:
+    """Exclusive prefix sum; returns (scan, total)."""
+    out = np.zeros(len(array), dtype=np.int64)
+    if len(array):
+        np.cumsum(array[:-1], out=out[1:])
+        total = float(out[-1] + array[-1])
+    else:
+        total = 0.0
+    return out, total
+
+
+def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s+c)`` for each (s, c) pair, vectorized.
+
+    The edge-gather primitive: given CSR offsets of a frontier, produce
+    the flat index array of all incident edges.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    nz = counts > 0
+    starts, counts = starts[nz], counts[nz]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Build per-position deltas whose prefix sum walks every range: +1
+    # inside a range, and a jump to the next range's start at boundaries.
+    deltas = np.ones(total, dtype=np.int64)
+    pos = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=pos[1:])
+    prev_end = np.concatenate([[0], starts[:-1] + counts[:-1] - 1])
+    deltas[pos] = starts - prev_end
+    return np.cumsum(deltas)

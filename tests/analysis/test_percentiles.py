@@ -1,0 +1,93 @@
+"""Percentile query-selection tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.percentiles import (
+    doubling_rank_targets,
+    reachable_by_distance,
+    sample_query_pairs,
+    target_at_percentile,
+)
+from repro.baselines import dijkstra
+
+
+class TestReachable:
+    def test_sorted_by_distance(self, small_road):
+        verts, dists = reachable_by_distance(small_road, 0)
+        assert verts[0] == 0 and dists[0] == 0.0
+        assert (np.diff(dists) >= 0).all()
+
+    def test_excludes_unreachable(self, disconnected_graph):
+        verts, _ = reachable_by_distance(disconnected_graph, 0)
+        assert set(verts.tolist()) == {0, 1, 2}
+
+
+class TestTargetAtPercentile:
+    def test_hundredth_is_farthest(self, small_road):
+        t = target_at_percentile(small_road, 0, 100.0)
+        d = dijkstra(small_road, 0)
+        finite = np.isfinite(d)
+        assert d[t] == pytest.approx(d[finite].max())
+
+    def test_first_percentile_is_close(self, small_road):
+        t = target_at_percentile(small_road, 0, 1.0)
+        d = dijkstra(small_road, 0)
+        rank = (d[np.isfinite(d)] < d[t]).sum()
+        assert rank <= 0.02 * np.isfinite(d).sum() + 1
+
+    def test_monotone_in_percentile(self, small_knn):
+        d = dijkstra(small_knn, 0)
+        t10 = target_at_percentile(small_knn, 0, 10.0)
+        t90 = target_at_percentile(small_knn, 0, 90.0)
+        assert d[t10] <= d[t90]
+
+    def test_never_returns_source(self, line_graph):
+        for p in (1, 50, 100):
+            assert target_at_percentile(line_graph, 0, p) != 0
+
+    def test_invalid_percentile(self, line_graph):
+        with pytest.raises(ValueError):
+            target_at_percentile(line_graph, 0, 0.0)
+        with pytest.raises(ValueError):
+            target_at_percentile(line_graph, 0, 101.0)
+
+    def test_isolated_source_rejected(self):
+        from repro.graphs import build_graph
+
+        g = build_graph([(1, 2, 1.0)], num_vertices=3)
+        with pytest.raises(ValueError, match="no reachable"):
+            target_at_percentile(g, 0, 50.0)
+
+
+class TestDoublingRanks:
+    def test_ranks_double(self, small_road):
+        targets = doubling_rank_targets(small_road, 0, first_rank=10)
+        pcts = [p for _, p in targets]
+        assert (np.diff(pcts) > 0).all()
+        # consecutive percentile ratios ~2 except the final farthest point
+        ratios = [b / a for a, b in zip(pcts, pcts[1:-1])]
+        assert all(1.9 < r < 2.1 for r in ratios)
+
+    def test_last_is_farthest(self, small_road):
+        targets = doubling_rank_targets(small_road, 0)
+        d = dijkstra(small_road, 0)
+        t_last, p_last = targets[-1]
+        assert p_last == 100.0
+        assert d[t_last] == pytest.approx(d[np.isfinite(d)].max())
+
+
+class TestSampleQueryPairs:
+    def test_count_and_membership(self, small_road):
+        pairs = sample_query_pairs(small_road, 50.0, num_pairs=4, seed=1)
+        assert len(pairs) == 4
+        from repro.graphs.connectivity import largest_component
+
+        lcc = set(largest_component(small_road).tolist())
+        for s, t in pairs:
+            assert s in lcc and t in lcc
+
+    def test_deterministic(self, small_road):
+        a = sample_query_pairs(small_road, 50.0, num_pairs=3, seed=9)
+        b = sample_query_pairs(small_road, 50.0, num_pairs=3, seed=9)
+        assert a == b

@@ -1,0 +1,110 @@
+"""ASCII plotting tests."""
+
+import math
+
+import pytest
+
+from repro.analysis.plotting import ascii_heatmap, ascii_line_chart, format_si
+
+
+class TestFormatSi:
+    @pytest.mark.parametrize(
+        "value,expect",
+        [
+            (0.0, "0"),
+            (1234.0, "1.23k"),
+            (2_500_000.0, "2.5M"),
+            (3.2e9, "3.2G"),
+            (0.0012, "1.2m"),
+            (2.5e-6, "2.5u"),
+            (7.0, "7"),
+        ],
+    )
+    def test_cases(self, value, expect):
+        assert format_si(value) == expect
+
+    def test_inf(self):
+        assert format_si(math.inf) == "inf"
+
+    def test_tiny_uses_nano(self):
+        assert format_si(3e-9).endswith("n")
+
+
+class TestLineChart:
+    def test_contains_marks_and_legend(self):
+        chart = ascii_line_chart(
+            {"a": [(0, 1.0), (10, 2.0)], "b": [(0, 2.0), (10, 1.0)]},
+            title="T",
+        )
+        assert "T" in chart
+        assert "o=a" in chart and "x=b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_log_scale_handles_wide_range(self):
+        chart = ascii_line_chart(
+            {"s": [(1, 1e-5), (2, 1e2)]}, log_y=True
+        )
+        assert "(no finite data)" not in chart
+
+    def test_empty_series(self):
+        chart = ascii_line_chart({"a": []})
+        assert "(no finite data)" in chart
+
+    def test_flat_series(self):
+        chart = ascii_line_chart({"a": [(0, 5.0), (1, 5.0)]})
+        assert "o" in chart
+
+    def test_non_finite_points_skipped(self):
+        chart = ascii_line_chart({"a": [(0, 1.0), (1, math.inf), (2, 2.0)]})
+        assert "o" in chart
+
+    def test_mark_positions_ordered(self):
+        """Higher y must render on a higher (earlier) row."""
+        chart = ascii_line_chart({"a": [(0, 0.0), (10, 10.0)]}, height=10, width=20)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        first_mark = next(i for i, l in enumerate(lines) if "o" in l)
+        last_mark = max(i for i, l in enumerate(lines) if "o" in l)
+        assert first_mark < last_mark  # both extremes plotted
+
+
+class TestHeatmap:
+    def test_labels_and_values(self):
+        out = ascii_heatmap(
+            ["r1", "r2"], ["c1", "c2"],
+            {("r1", "c1"): 1.0, ("r1", "c2"): 4.0, ("r2", "c1"): 2.0},
+            title="H",
+        )
+        assert "H" in out
+        assert "r1" in out and "c2" in out
+        assert "1.00" in out and "4.00" in out
+        assert "·" in out  # the missing cell
+
+    def test_explicit_bounds_clamped(self):
+        out = ascii_heatmap(
+            ["r"], ["c"], {("r", "c"): 10.0}, lo=1.0, hi=4.0
+        )
+        assert "10.00" in out
+
+    def test_no_data(self):
+        out = ascii_heatmap(["r"], ["c"], {("r", "c"): math.inf})
+        assert "(no finite data)" in out
+
+
+class TestHeatmapShading:
+    def test_shades_scale_with_value(self):
+        from repro.analysis.plotting import _SHADES, ascii_heatmap
+
+        out = ascii_heatmap(
+            ["r"], ["lo", "hi"], {("r", "lo"): 1.0, ("r", "hi"): 4.0},
+            lo=1.0, hi=4.0,
+        )
+        row = [l for l in out.splitlines() if l.startswith("r")][0]
+        # The high cell uses a denser shade character than the low cell.
+        assert _SHADES[0] + "1.00" in row.replace(" ", " ")
+        assert _SHADES[-1] in row
+
+    def test_values_above_hi_clamped_to_max_shade(self):
+        from repro.analysis.plotting import _SHADES, ascii_heatmap
+
+        out = ascii_heatmap(["r"], ["c"], {("r", "c"): 99.0}, lo=1.0, hi=4.0)
+        assert _SHADES[-1] in out

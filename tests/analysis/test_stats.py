@@ -1,0 +1,64 @@
+"""Statistics helper tests."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import geometric_mean, normalize_to_best, speedup
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([7.5]) == pytest.approx(7.5)
+
+    def test_scale_invariance(self):
+        a = [1.2, 3.4, 0.6]
+        assert geometric_mean([10 * x for x in a]) == pytest.approx(
+            10 * geometric_mean(a)
+        )
+
+    def test_overflow_safe(self):
+        assert math.isfinite(geometric_mean([1e300, 1e300, 1e300]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([-2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, math.inf])
+
+
+class TestNormalizeToBest:
+    def test_best_is_one(self):
+        out = normalize_to_best({"a": 2.0, "b": 1.0, "c": 4.0})
+        assert out["b"] == 1.0
+        assert out["a"] == 2.0
+        assert out["c"] == 4.0
+
+    def test_inf_passthrough(self):
+        out = normalize_to_best({"a": 1.0, "timeout": math.inf})
+        assert out["timeout"] == math.inf
+
+    def test_all_inf_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_to_best({"a": math.inf})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_to_best({"a": 0.0})
+
+
+def test_speedup():
+    assert speedup(10.0, 2.0) == 5.0
+    with pytest.raises(ValueError):
+        speedup(1.0, 0.0)

@@ -1,0 +1,98 @@
+"""Contraction hierarchy tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ContractionHierarchy, dijkstra
+
+
+class TestCHExactness:
+    def test_line(self, line_graph):
+        ch = ContractionHierarchy(line_graph)
+        assert ch.query(0, 4) == 10.0
+        assert ch.query(1, 3) == 5.0
+
+    def test_trivial(self, line_graph):
+        assert ContractionHierarchy(line_graph).query(2, 2) == 0.0
+
+    def test_disconnected(self, disconnected_graph):
+        ch = ContractionHierarchy(disconnected_graph)
+        assert np.isinf(ch.query(0, 4))
+        assert ch.query(3, 4) == 1.0
+
+    def test_diamond_shortcut_correctness(self, diamond_graph):
+        ch = ContractionHierarchy(diamond_graph)
+        assert ch.query(0, 3) == 3.0
+
+    def test_road_random_pairs(self, small_road):
+        ch = ContractionHierarchy(small_road)
+        rng = np.random.default_rng(1)
+        for _ in range(12):
+            s, t = (int(x) for x in rng.integers(0, small_road.num_vertices, 2))
+            ref = dijkstra(small_road, s)[t]
+            got = ch.query(s, t)
+            if np.isinf(ref):
+                assert np.isinf(got)
+            else:
+                assert got == pytest.approx(ref), (s, t)
+
+    def test_knn_random_pairs(self, small_knn):
+        ch = ContractionHierarchy(small_knn)
+        rng = np.random.default_rng(2)
+        for _ in range(8):
+            s, t = (int(x) for x in rng.integers(0, small_knn.num_vertices, 2))
+            ref = dijkstra(small_knn, s)[t]
+            got = ch.query(s, t)
+            if np.isinf(ref):
+                assert np.isinf(got)
+            else:
+                assert got == pytest.approx(ref), (s, t)
+
+    def test_tight_witness_budgets_stay_exact(self, small_road):
+        """Budget exhaustion adds redundant shortcuts, never wrong answers."""
+        ch = ContractionHierarchy(small_road, hop_limit=1, settle_limit=2)
+        ref = dijkstra(small_road, 0)
+        for t in (20, 77, 130):
+            assert ch.query(0, t) == pytest.approx(ref[t])
+
+    def test_directed_rejected(self):
+        from repro.graphs import build_graph
+
+        g = build_graph([(0, 1, 1.0)], directed=True)
+        with pytest.raises(ValueError, match="undirected"):
+            ContractionHierarchy(g)
+
+
+class TestCHStructure:
+    def test_ranks_are_a_permutation(self, small_road):
+        ch = ContractionHierarchy(small_road)
+        assert sorted(ch.rank.tolist()) == list(range(small_road.num_vertices))
+
+    def test_upward_graph_is_upward(self, small_road):
+        ch = ContractionHierarchy(small_road)
+        src, dst, _ = ch.upward.edges()
+        assert (ch.rank[src] < ch.rank[dst]).all()
+
+    def test_star_contracts_leaves_first(self):
+        """Leaves have negative edge difference; the hub goes last and
+        no shortcuts are needed."""
+        from repro.graphs import build_graph
+
+        g = build_graph([(0, i, 1.0) for i in range(1, 40)])
+        ch = ContractionHierarchy(g)
+        assert ch.rank[0] == g.num_vertices - 1
+        assert ch.shortcuts_added == 0
+
+    def test_path_graph_needs_few_shortcuts(self):
+        from repro.graphs import build_graph
+
+        n = 60
+        g = build_graph([(i, i + 1, 1.0) for i in range(n - 1)])
+        ch = ContractionHierarchy(g)
+        # Contracting a path adds at most ~n shortcuts total.
+        assert ch.shortcuts_added <= 2 * n
+
+    def test_index_edges_property(self, small_road):
+        ch = ContractionHierarchy(small_road)
+        base_arcs = small_road.num_edges // 2  # undirected arcs stored twice
+        assert ch.index_edges >= base_arcs

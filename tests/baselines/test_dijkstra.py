@@ -1,0 +1,77 @@
+"""Sequential Dijkstra oracle tests (checked against networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines import bidirectional_dijkstra, dijkstra, dijkstra_ppsp
+
+
+def to_networkx(graph):
+    gx = nx.DiGraph() if graph.directed else nx.Graph()
+    gx.add_nodes_from(range(graph.num_vertices))
+    src, dst, w = graph.edges()
+    for u, v, x in zip(src, dst, w):
+        if gx.has_edge(int(u), int(v)):
+            gx[int(u)][int(v)]["weight"] = min(gx[int(u)][int(v)]["weight"], float(x))
+        else:
+            gx.add_edge(int(u), int(v), weight=float(x))
+    return gx
+
+
+class TestDijkstra:
+    def test_line(self, line_graph):
+        assert list(dijkstra(line_graph, 0)) == [0, 1, 3, 6, 10]
+
+    def test_matches_networkx(self, random_graph_factory):
+        g = random_graph_factory(70, 250, seed=9)
+        gx = to_networkx(g)
+        ref = nx.single_source_dijkstra_path_length(gx, 0)
+        got = dijkstra(g, 0)
+        for v in range(70):
+            if v in ref:
+                assert got[v] == pytest.approx(ref[v])
+            else:
+                assert np.isinf(got[v])
+
+    def test_directed_matches_networkx(self, random_graph_factory):
+        g = random_graph_factory(50, 180, seed=10, directed=True)
+        gx = to_networkx(g)
+        ref = nx.single_source_dijkstra_path_length(gx, 5)
+        got = dijkstra(g, 5)
+        for v in range(50):
+            if v in ref:
+                assert got[v] == pytest.approx(ref[v])
+            else:
+                assert np.isinf(got[v])
+
+    def test_early_stop_at_target_is_exact(self, small_road):
+        full = dijkstra(small_road, 0)
+        assert dijkstra_ppsp(small_road, 0, 77) == pytest.approx(full[77])
+
+
+class TestBidirectionalDijkstra:
+    def test_line(self, line_graph):
+        assert bidirectional_dijkstra(line_graph, 0, 4) == 10.0
+
+    def test_trivial(self, line_graph):
+        assert bidirectional_dijkstra(line_graph, 2, 2) == 0.0
+
+    def test_disconnected(self, disconnected_graph):
+        assert np.isinf(bidirectional_dijkstra(disconnected_graph, 0, 4))
+
+    def test_random_pairs_match_unidirectional(self, random_graph_factory):
+        g = random_graph_factory(90, 350, seed=11)
+        rng = np.random.default_rng(1)
+        for _ in range(12):
+            s, t = (int(x) for x in rng.integers(0, 90, size=2))
+            assert bidirectional_dijkstra(g, s, t) == pytest.approx(
+                dijkstra_ppsp(g, s, t)
+            ), (s, t)
+
+    def test_directed(self):
+        from repro.graphs import build_graph
+
+        g = build_graph([(0, 1, 1.0), (1, 2, 1.0), (2, 0, 5.0)], directed=True)
+        assert bidirectional_dijkstra(g, 0, 2) == 2.0
+        assert bidirectional_dijkstra(g, 2, 0) == 5.0

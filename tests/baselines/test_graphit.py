@@ -1,0 +1,68 @@
+"""GraphIt-style baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import dijkstra, graphit_ppsp
+from repro.parallel.cost_model import WorkDepthMeter
+
+
+class TestGraphItET:
+    def test_line(self, line_graph):
+        assert graphit_ppsp(line_graph, 0, 4, delta=2.0) == 10.0
+
+    def test_trivial(self, line_graph):
+        assert graphit_ppsp(line_graph, 3, 3, delta=1.0) == 0.0
+
+    def test_disconnected(self, disconnected_graph):
+        assert np.isinf(graphit_ppsp(disconnected_graph, 0, 4, delta=1.0))
+
+    @pytest.mark.parametrize("delta", [0.5, 5.0, 500.0])
+    def test_correct_for_any_delta(self, delta, random_graph_factory):
+        g = random_graph_factory(80, 320, seed=12)
+        ref = dijkstra(g, 2)
+        for t in (7, 50, 79):
+            assert graphit_ppsp(g, 2, t, delta=delta) == pytest.approx(ref[t]), (delta, t)
+
+    def test_road_graph_many_pairs(self, small_road):
+        rng = np.random.default_rng(2)
+        n = small_road.num_vertices
+        for _ in range(6):
+            s, t = (int(x) for x in rng.integers(0, n, size=2))
+            ref = dijkstra(small_road, s)[t]
+            got = graphit_ppsp(small_road, s, t, delta=30.0)
+            assert got == pytest.approx(ref), (s, t)
+
+    def test_meter_populated(self, small_road):
+        m = WorkDepthMeter()
+        graphit_ppsp(small_road, 0, 100, delta=30.0, meter=m)
+        assert m.work > 0 and m.steps > 0
+
+    def test_out_of_range_rejected(self, line_graph):
+        with pytest.raises(ValueError):
+            graphit_ppsp(line_graph, 0, 99, delta=1.0)
+
+
+class TestGraphItAStar:
+    def test_road(self, small_road):
+        ref = dijkstra(small_road, 0)
+        got = graphit_ppsp(small_road, 0, 130, delta=30.0, use_astar=True)
+        assert got == pytest.approx(ref[130])
+
+    def test_knn(self, small_knn):
+        ref = dijkstra(small_knn, 5)
+        got = graphit_ppsp(small_knn, 5, 222, delta=20.0, use_astar=True)
+        assert got == pytest.approx(ref[222])
+
+    def test_needs_coordinates(self, small_social):
+        with pytest.raises(ValueError, match="coordinates"):
+            graphit_ppsp(small_social, 0, 5, delta=1.0, use_astar=True)
+
+    def test_random_pairs(self, small_road):
+        rng = np.random.default_rng(3)
+        n = small_road.num_vertices
+        for _ in range(6):
+            s, t = (int(x) for x in rng.integers(0, n, size=2))
+            ref = dijkstra(small_road, s)[t]
+            got = graphit_ppsp(small_road, s, t, delta=45.0, use_astar=True)
+            assert got == pytest.approx(ref), (s, t)

@@ -1,0 +1,69 @@
+"""MBQ-style baseline tests, including its integer-rounding caveat."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import dijkstra, mbq_ppsp
+from repro.parallel.cost_model import WorkDepthMeter
+
+
+class TestMBQET:
+    def test_line(self, line_graph):
+        assert mbq_ppsp(line_graph, 0, 4) == 10.0
+
+    def test_trivial(self, line_graph):
+        assert mbq_ppsp(line_graph, 1, 1) == 0.0
+
+    def test_disconnected(self, disconnected_graph):
+        assert np.isinf(mbq_ppsp(disconnected_graph, 0, 3))
+
+    def test_random_pairs(self, random_graph_factory):
+        g = random_graph_factory(80, 320, seed=13)
+        ref = dijkstra(g, 0)
+        for t in (11, 44, 77):
+            assert mbq_ppsp(g, 0, t) == pytest.approx(ref[t])
+
+    @pytest.mark.parametrize("batch_size", [1, 8, 256])
+    def test_any_batch_size(self, batch_size, small_road):
+        ref = dijkstra(small_road, 0)[99]
+        assert mbq_ppsp(small_road, 0, 99, batch_size=batch_size) == pytest.approx(ref)
+
+    @pytest.mark.parametrize("shift", [0, 2, 6])
+    def test_bucket_shift_coarsens_but_stays_exact(self, shift, small_road):
+        """Coarser buckets change scheduling order, never the answer."""
+        ref = dijkstra(small_road, 3)[120]
+        got = mbq_ppsp(small_road, 3, 120, bucket_shift=shift, priority_scale=8.0)
+        assert got == pytest.approx(ref)
+
+    def test_meter_records_small_batches(self, small_road):
+        m = WorkDepthMeter()
+        mbq_ppsp(small_road, 0, 100, batch_size=4, meter=m)
+        # Scheduling in small batches means many shallow steps — the
+        # depth overhead that makes MBQ the slow baseline here.
+        assert m.steps > 10
+
+    def test_out_of_range(self, line_graph):
+        with pytest.raises(ValueError):
+            mbq_ppsp(line_graph, 9, 0)
+
+
+class TestMBQAStar:
+    def test_road(self, small_road):
+        ref = dijkstra(small_road, 0)[130]
+        assert mbq_ppsp(small_road, 0, 130, use_astar=True) == pytest.approx(ref)
+
+    def test_needs_coordinates(self, small_social):
+        with pytest.raises(ValueError, match="coordinates"):
+            mbq_ppsp(small_social, 0, 5, use_astar=True)
+
+    def test_random_pairs(self, small_knn):
+        rng = np.random.default_rng(4)
+        n = small_knn.num_vertices
+        for _ in range(5):
+            s, t = (int(x) for x in rng.integers(0, n, size=2))
+            ref = dijkstra(small_knn, s)[t]
+            got = mbq_ppsp(small_knn, s, t, use_astar=True)
+            if np.isinf(ref):
+                assert np.isinf(got)
+            else:
+                assert got == pytest.approx(ref), (s, t)

@@ -1,0 +1,78 @@
+"""Pruned landmark labeling tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PrunedLandmarkLabeling, dijkstra
+
+
+class TestPLLExactness:
+    def test_line(self, line_graph):
+        pll = PrunedLandmarkLabeling(line_graph)
+        assert pll.query(0, 4) == 10.0
+        assert pll.query(1, 3) == 5.0
+
+    def test_trivial(self, line_graph):
+        pll = PrunedLandmarkLabeling(line_graph)
+        assert pll.query(2, 2) == 0.0
+
+    def test_disconnected(self, disconnected_graph):
+        pll = PrunedLandmarkLabeling(disconnected_graph)
+        assert np.isinf(pll.query(0, 4))
+        assert pll.query(3, 4) == 1.0
+
+    def test_all_pairs_small_road(self, small_road):
+        pll = PrunedLandmarkLabeling(small_road)
+        rng = np.random.default_rng(1)
+        for _ in range(15):
+            s, t = (int(x) for x in rng.integers(0, small_road.num_vertices, 2))
+            ref = dijkstra(small_road, s)[t]
+            got = pll.query(s, t)
+            if np.isinf(ref):
+                assert np.isinf(got)
+            else:
+                assert got == pytest.approx(ref), (s, t)
+
+    def test_social_graph(self, small_social):
+        pll = PrunedLandmarkLabeling(small_social)
+        ref = dijkstra(small_social, 7)
+        for t in (0, 99, 250):
+            got = pll.query(7, t)
+            if np.isinf(ref[t]):
+                assert np.isinf(got)
+            else:
+                assert got == pytest.approx(ref[t])
+
+    def test_directed_rejected(self):
+        from repro.graphs import build_graph
+
+        g = build_graph([(0, 1, 1.0)], directed=True)
+        with pytest.raises(ValueError, match="undirected"):
+            PrunedLandmarkLabeling(g)
+
+
+class TestPLLIndex:
+    def test_pruning_keeps_labels_small_on_hub_graph(self):
+        """A star graph needs ~2 labels per vertex (hub + self)."""
+        from repro.graphs import build_graph
+
+        g = build_graph([(0, i, 1.0) for i in range(1, 60)])
+        pll = PrunedLandmarkLabeling(g)
+        assert pll.average_label_size() <= 2.5
+
+    def test_index_smaller_than_apsp(self, small_social):
+        pll = PrunedLandmarkLabeling(small_social)
+        n = small_social.num_vertices
+        assert pll.index_size < 0.25 * n * n
+
+    def test_partial_index_upper_bounds(self, small_road):
+        pll = PrunedLandmarkLabeling(small_road, max_roots=20)
+        assert not pll.exact
+        ref = dijkstra(small_road, 0)
+        for t in (10, 50, 120):
+            got = pll.query(0, t)
+            # Partial indexes certify upper bounds only.
+            assert got >= ref[t] - 1e-9
+
+    def test_full_index_flag(self, line_graph):
+        assert PrunedLandmarkLabeling(line_graph).exact

@@ -1,0 +1,69 @@
+"""Shared fixtures: small graphs with known answers plus random factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_graph, knn_graph, road_graph, social_graph
+from repro.graphs.knn import uniform_points
+
+
+@pytest.fixture
+def line_graph():
+    """0-1-2-3-4 path with weights 1, 2, 3, 4 (d(0,4) = 10)."""
+    return build_graph([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0)], name="line")
+
+
+@pytest.fixture
+def diamond_graph():
+    """Two parallel 0->3 routes: 0-1-3 (cost 3) and 0-2-3 (cost 4)."""
+    return build_graph(
+        [(0, 1, 1.0), (1, 3, 2.0), (0, 2, 3.0), (2, 3, 1.0)], name="diamond"
+    )
+
+
+@pytest.fixture
+def disconnected_graph():
+    """Two components: {0,1,2} and {3,4}."""
+    return build_graph(
+        [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)], num_vertices=5, name="disco"
+    )
+
+
+@pytest.fixture
+def small_road():
+    """A 12x12 road grid with spherical coordinates (144 vertices)."""
+    return road_graph(12, 12, seed=3, name="small-road")
+
+
+@pytest.fixture
+def small_knn():
+    """A 5-NN graph over 300 uniform 2-D points."""
+    return knn_graph(uniform_points(300, 2, seed=4), k=5, name="small-knn")
+
+
+@pytest.fixture
+def small_social():
+    """A power-law graph with 400 vertices."""
+    return social_graph(400, avg_degree=8, seed=5, name="small-social")
+
+
+def random_graph(n: int, m: int, seed: int, *, directed: bool = False, max_w: float = 10.0):
+    """A random multigraph-ish test instance (dedupe keeps min weight)."""
+    from repro.graphs import from_edges
+
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    w = rng.uniform(0.1, max_w, size=keep.sum())
+    return from_edges(
+        src[keep], dst[keep], w, num_vertices=n, directed=directed, dedupe=True,
+        name=f"rand-{n}-{m}-{seed}",
+    )
+
+
+@pytest.fixture
+def random_graph_factory():
+    return random_graph

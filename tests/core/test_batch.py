@@ -1,0 +1,162 @@
+"""Batch PPSP solver tests: MultiPPSP policy and the four strategies."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import dijkstra
+from repro.core.batch import BATCH_METHODS, solve_batch
+from repro.core.engine import run_policy
+from repro.core.policies import MultiPPSP
+from repro.core.query_graph import PATTERNS, QueryGraph
+from repro.core.stepping import DeltaStepping
+
+
+def oracle(graph, qg):
+    out = {}
+    for i, j in qg.edges:
+        s, t = int(qg.vertices[i]), int(qg.vertices[j])
+        out[(s, t)] = float(dijkstra(graph, s)[t])
+    return out
+
+
+class TestMultiPPSPPolicy:
+    def test_single_pair(self, line_graph):
+        res = run_policy(line_graph, MultiPPSP(QueryGraph([(0, 4)])))
+        assert res.answer[(0, 4)] == 10.0
+
+    def test_chain_three_stops(self, line_graph):
+        res = run_policy(line_graph, MultiPPSP(QueryGraph.chain([0, 2, 4])))
+        assert res.answer[(0, 2)] == 3.0
+        assert res.answer[(2, 4)] == 7.0
+
+    def test_self_query_zero(self, line_graph):
+        res = run_policy(line_graph, MultiPPSP(QueryGraph([(1, 1), (0, 2)])))
+        assert res.answer[(1, 1)] == 0.0
+
+    def test_disconnected_query_inf(self, disconnected_graph):
+        res = run_policy(disconnected_graph, MultiPPSP(QueryGraph([(0, 4), (0, 2)])))
+        assert np.isinf(res.answer[(0, 4)])
+        assert res.answer[(0, 2)] == 2.0
+
+    def test_shared_vertex_search_count(self, small_road):
+        """A star batch searches from |Vq| vertices, not 2x queries."""
+        qg = QueryGraph.star(0, [10, 20, 30])
+        pol = MultiPPSP(qg)
+        assert pol.num_sources == 4
+
+    def test_loop_only_batch_answers_zero(self, line_graph):
+        res = run_policy(line_graph, MultiPPSP(QueryGraph([(1, 1)])))
+        assert res.answer[(1, 1)] == 0.0
+
+    def test_requires_query_graph_type(self):
+        with pytest.raises(TypeError):
+            MultiPPSP([(0, 1)])
+
+    def test_vertex_out_of_range(self, line_graph):
+        with pytest.raises(ValueError):
+            run_policy(line_graph, MultiPPSP(QueryGraph([(0, 99)])))
+
+    def test_mu_max_radius_shrinks(self, small_road):
+        res = run_policy(small_road, MultiPPSP(QueryGraph([(0, 5), (0, 17)])))
+        pol = res.policy
+        assert np.isfinite(pol.mu_max).all()
+
+    @pytest.mark.parametrize("pattern", list(PATTERNS))
+    def test_all_patterns_match_oracle(self, pattern, small_road):
+        rng = np.random.default_rng(5)
+        verts = rng.choice(small_road.num_vertices, size=6, replace=False).tolist()
+        qg = PATTERNS[pattern](verts)
+        res = run_policy(small_road, MultiPPSP(qg))
+        ref = oracle(small_road, qg)
+        for key, val in res.answer.items():
+            assert val == pytest.approx(ref[key]), (pattern, key)
+
+
+class TestSolveBatch:
+    @pytest.mark.parametrize("method", BATCH_METHODS)
+    def test_every_method_matches_oracle(self, method, small_knn):
+        rng = np.random.default_rng(6)
+        from repro.graphs.connectivity import largest_component
+
+        lcc = largest_component(small_knn)
+        verts = rng.choice(lcc, size=6, replace=False).tolist()
+        qg = QueryGraph.random_pattern(verts, 8, seed=2)
+        res = solve_batch(small_knn, qg, method=method)
+        ref = oracle(small_knn, qg)
+        assert res.method == method
+        for key, val in res.distances.items():
+            assert val == pytest.approx(ref[key]), key
+
+    def test_accepts_raw_pairs(self, line_graph):
+        res = solve_batch(line_graph, [(0, 2), (2, 4)])
+        assert res.distance(0, 2) == 3.0
+        assert res.distance(4, 2) == 7.0  # symmetric lookup
+
+    def test_unknown_method_rejected(self, line_graph):
+        with pytest.raises(ValueError, match="unknown batch method"):
+            solve_batch(line_graph, [(0, 1)], method="magic")
+
+    def test_strategy_factory_used(self, small_road):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return DeltaStepping(25.0)
+
+        solve_batch(small_road, [(0, 5), (7, 9)], method="plain-bids", strategy_factory=factory)
+        assert len(calls) == 2  # one strategy per query
+
+    def test_num_searches_accounting(self, small_road):
+        qg = QueryGraph.star(0, [5, 9, 13])
+        assert solve_batch(small_road, qg, method="multi").num_searches == 4
+        assert solve_batch(small_road, qg, method="plain-bids").num_searches == 6
+        assert solve_batch(small_road, qg, method="sssp-vc").num_searches == 1
+        assert solve_batch(small_road, qg, method="sssp-plain").num_searches == 1
+
+    def test_vc_fewer_searches_than_plain_on_chain(self, small_road):
+        qg = QueryGraph.chain([0, 5, 9, 13, 17, 21])
+        vc = solve_batch(small_road, qg, method="sssp-vc")
+        plain = solve_batch(small_road, qg, method="sssp-plain")
+        assert vc.num_searches < plain.num_searches
+        assert vc.meter.work < plain.meter.work
+
+    def test_multi_shares_work_on_clique(self, small_road):
+        """Multi-BiDS beats plain per-query BiDS in work on a clique."""
+        rng = np.random.default_rng(7)
+        verts = rng.choice(small_road.num_vertices, size=6, replace=False).tolist()
+        qg = QueryGraph.clique(verts)
+        multi = solve_batch(small_road, qg, method="multi")
+        plain = solve_batch(small_road, qg, method="plain-bids")
+        assert multi.meter.work < plain.meter.work
+
+    def test_plain_star_overlaps_depth(self, small_road):
+        """Plain* runs queries concurrently: same work, less depth."""
+        qg = QueryGraph.separate([0, 40, 80, 120, 7, 77])
+        serial = solve_batch(small_road, qg, method="plain-bids")
+        overlap = solve_batch(small_road, qg, method="plain-star-bids")
+        assert overlap.meter.work == pytest.approx(serial.meter.work)
+        assert overlap.meter.depth < serial.meter.depth
+
+    def test_directed_batch(self):
+        from repro.graphs import build_graph
+
+        g = build_graph(
+            [(0, 1, 1.0), (1, 2, 2.0), (3, 1, 4.0), (2, 3, 1.0)], directed=True
+        )
+        qg = QueryGraph([(0, 2), (3, 2)], directed=True)
+        ref = {(0, 2): 3.0, (3, 2): 6.0}
+        for method in ("multi", "plain-bids", "sssp-plain", "sssp-vc"):
+            res = solve_batch(g, qg, method=method)
+            for key, val in ref.items():
+                assert res.distances[key] == pytest.approx(val), (method, key)
+
+
+class TestBatchResult:
+    def test_distance_lookup_both_orders(self, line_graph):
+        res = solve_batch(line_graph, [(0, 3)])
+        assert res.distance(0, 3) == res.distance(3, 0) == 6.0
+
+    def test_missing_query_raises(self, line_graph):
+        res = solve_batch(line_graph, [(0, 3)])
+        with pytest.raises(KeyError):
+            res.distance(1, 2)

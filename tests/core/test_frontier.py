@@ -1,0 +1,115 @@
+"""Frontier structure tests: sparse/dense representations and switching."""
+
+import numpy as np
+import pytest
+
+from repro.core.frontier import Frontier
+
+
+def ids(*xs):
+    return np.array(xs, dtype=np.int64)
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        f = Frontier(100)
+        assert len(f) == 0
+        assert list(f.ids()) == []
+
+    def test_add_and_len(self):
+        f = Frontier(100)
+        f.add(ids(3, 7, 1))
+        assert len(f) == 3
+        assert list(f.ids()) == [1, 3, 7]
+
+    def test_add_deduplicates(self):
+        f = Frontier(100)
+        f.add(ids(5, 5, 2))
+        f.add(ids(2, 9))
+        assert list(f.ids()) == [2, 5, 9]
+
+    def test_add_empty_noop(self):
+        f = Frontier(100)
+        f.add(np.empty(0, dtype=np.int64))
+        assert len(f) == 0
+
+    def test_replace(self):
+        f = Frontier(100)
+        f.add(ids(1, 2, 3))
+        f.replace(ids(8, 9))
+        assert list(f.ids()) == [8, 9]
+
+    def test_clear(self):
+        f = Frontier(100)
+        f.add(ids(1, 2))
+        f.clear()
+        assert len(f) == 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Frontier(10, mode="weird")
+
+
+class TestExtract:
+    def test_extract_below_threshold(self):
+        f = Frontier(100)
+        f.add(ids(0, 1, 2, 3))
+        prio = {0: 1.0, 1: 5.0, 2: 3.0, 3: 9.0}
+        got = f.extract(lambda e: np.array([prio[int(x)] for x in e]), 4.0)
+        assert sorted(got.tolist()) == [0, 2]
+        assert sorted(f.ids().tolist()) == [1, 3]
+
+    def test_extract_all(self):
+        f = Frontier(100)
+        f.add(ids(4, 5))
+        got = f.extract(lambda e: np.zeros(len(e)), 1.0)
+        assert len(got) == 2
+        assert len(f) == 0
+
+    def test_extract_empty(self):
+        f = Frontier(100)
+        got = f.extract(lambda e: np.zeros(len(e)), 1.0)
+        assert len(got) == 0
+
+
+class TestModes:
+    def test_forced_dense(self):
+        f = Frontier(50, mode="dense")
+        assert f.is_dense
+        f.add(ids(3, 1))
+        assert list(f.ids()) == [1, 3]
+        assert len(f) == 2
+
+    def test_forced_sparse_never_switches(self):
+        f = Frontier(10, mode="sparse")
+        f.add(np.arange(10))
+        assert not f.is_dense
+
+    def test_auto_switches_to_dense_when_large(self):
+        f = Frontier(100, mode="auto")
+        f.add(np.arange(20))  # 20% > 5% threshold
+        assert f.is_dense
+        assert len(f) == 20
+
+    def test_auto_switches_back_to_sparse(self):
+        f = Frontier(1000, mode="auto")
+        f.add(np.arange(100))
+        assert f.is_dense
+        f.replace(ids(1, 2))  # 0.2% < 2% threshold
+        assert not f.is_dense
+        assert list(f.ids()) == [1, 2]
+
+    def test_dense_and_sparse_agree(self):
+        """Same operation sequence gives identical contents in both modes."""
+        rng = np.random.default_rng(0)
+        fs = Frontier(500, mode="sparse")
+        fd = Frontier(500, mode="dense")
+        for _ in range(10):
+            batch = rng.integers(0, 500, size=30)
+            fs.add(batch)
+            fd.add(batch)
+            thr = rng.uniform(0, 500)
+            es = fs.extract(lambda e: e.astype(float), thr)
+            ed = fd.extract(lambda e: e.astype(float), thr)
+            assert np.array_equal(np.sort(es), np.sort(ed))
+        assert np.array_equal(fs.ids(), fd.ids())

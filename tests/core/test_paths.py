@@ -1,0 +1,109 @@
+"""Path reconstruction tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import dijkstra
+from repro.core.engine import run_policy
+from repro.core.paths import (
+    PathError,
+    meeting_vertex,
+    stitch_bidirectional_path,
+    walk_path,
+)
+from repro.core.policies import BiDS, SsspPolicy
+
+
+def path_length(graph, path):
+    total = 0.0
+    for u, v in zip(path[:-1], path[1:]):
+        nbrs = graph.neighbors(u)
+        ws = graph.neighbor_weights(u)
+        hit = np.flatnonzero(nbrs == v)
+        assert len(hit), f"({u},{v}) is not an edge"
+        total += ws[hit].min()
+    return total
+
+
+class TestWalkPath:
+    def test_line(self, line_graph):
+        dist = dijkstra(line_graph, 0)
+        assert walk_path(line_graph, dist, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_trivial(self, line_graph):
+        dist = dijkstra(line_graph, 2)
+        assert walk_path(line_graph, dist, 2, 2) == [2]
+
+    def test_diamond_takes_shortest_branch(self, diamond_graph):
+        dist = dijkstra(diamond_graph, 0)
+        assert walk_path(diamond_graph, dist, 0, 3) == [0, 1, 3]
+
+    def test_unreachable_raises(self, disconnected_graph):
+        dist = dijkstra(disconnected_graph, 0)
+        with pytest.raises(PathError):
+            walk_path(disconnected_graph, dist, 0, 4)
+
+    def test_path_length_equals_distance(self, small_road):
+        dist = dijkstra(small_road, 0)
+        t = 130
+        p = walk_path(small_road, dist, 0, t)
+        assert p[0] == 0 and p[-1] == t
+        assert path_length(small_road, p) == pytest.approx(dist[t])
+
+    def test_directed_path(self):
+        from repro.graphs import build_graph
+
+        g = build_graph([(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)], directed=True)
+        dist = dijkstra(g, 0)
+        assert walk_path(g, dist, 0, 2) == [0, 1, 2]
+
+    def test_zero_weight_edges(self):
+        from repro.graphs import build_graph
+
+        g = build_graph([(0, 1, 0.0), (1, 2, 0.0)])
+        dist = dijkstra(g, 0)
+        p = walk_path(g, dist, 0, 2)
+        assert p[0] == 0 and p[-1] == 2
+
+
+class TestBidirectionalStitch:
+    def test_meeting_vertex_on_path(self, small_road):
+        res = run_policy(small_road, BiDS(0, 100))
+        m = meeting_vertex(res.dist[0], res.dist[1])
+        assert res.dist[0][m] + res.dist[1][m] == pytest.approx(res.answer)
+
+    def test_meeting_vertex_unreachable_raises(self, disconnected_graph):
+        res = run_policy(disconnected_graph, BiDS(0, 4))
+        with pytest.raises(PathError):
+            meeting_vertex(res.dist[0], res.dist[1])
+
+    def test_stitched_path_is_shortest(self, small_road):
+        s, t = 0, 137
+        res = run_policy(small_road, BiDS(s, t))
+        p = stitch_bidirectional_path(small_road, res.dist[0], res.dist[1], s, t)
+        assert p[0] == s and p[-1] == t
+        assert path_length(small_road, p) == pytest.approx(res.answer)
+
+    def test_stitched_path_no_duplicate_meeting_vertex(self, small_road):
+        s, t = 3, 88
+        res = run_policy(small_road, BiDS(s, t))
+        p = stitch_bidirectional_path(small_road, res.dist[0], res.dist[1], s, t)
+        assert len(p) == len(set(p))
+
+    def test_directed_stitch(self):
+        from repro.graphs import build_graph
+
+        g = build_graph(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 9.0)], directed=True
+        )
+        res = run_policy(g, BiDS(0, 3))
+        p = stitch_bidirectional_path(g, res.dist[0], res.dist[1], 0, 3)
+        assert p == [0, 1, 2, 3]
+
+    def test_adjacent_pair(self, small_road):
+        s = 0
+        t = int(small_road.neighbors(0)[0])
+        res = run_policy(small_road, BiDS(s, t))
+        p = stitch_bidirectional_path(small_road, res.dist[0], res.dist[1], s, t)
+        assert p[0] == s and p[-1] == t
+        assert path_length(small_road, p) == pytest.approx(res.answer)

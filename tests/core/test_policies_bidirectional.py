@@ -1,0 +1,159 @@
+"""BiDS and BiD-A* policy tests (Thm. 3.3 / Thm. 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import dijkstra
+from repro.core.engine import run_policy
+from repro.core.policies import BiDAStar, BiDS, EarlyTermination
+from repro.core.stepping import BellmanFord, DeltaStepping, DijkstraOrder, RhoStepping
+
+
+class TestBiDS:
+    def test_line_distance(self, line_graph):
+        assert run_policy(line_graph, BiDS(0, 4)).answer == 10.0
+
+    def test_source_equals_target(self, line_graph):
+        assert run_policy(line_graph, BiDS(3, 3)).answer == 0.0
+
+    def test_adjacent_pair(self, line_graph):
+        assert run_policy(line_graph, BiDS(1, 2)).answer == 2.0
+
+    def test_matches_dijkstra_many_pairs(self, random_graph_factory):
+        g = random_graph_factory(100, 400, seed=2)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            s, t = rng.integers(0, 100, size=2)
+            ref = dijkstra(g, int(s))[int(t)]
+            got = run_policy(g, BiDS(int(s), int(t))).answer
+            assert got == pytest.approx(ref), (s, t)
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [DeltaStepping(2.0), RhoStepping(4), BellmanFord(), DijkstraOrder()],
+        ids=["delta", "rho", "bellman-ford", "dijkstra"],
+    )
+    def test_correct_under_any_stepping(self, strategy, random_graph_factory):
+        """Thm. 3.3: the μ/2 prune is correct for *any* stepping algorithm."""
+        g = random_graph_factory(60, 220, seed=3)
+        ref = dijkstra(g, 0)[47]
+        assert run_policy(g, BiDS(0, 47), strategy=strategy).answer == pytest.approx(ref)
+
+    def test_mu_halving_prunes_work(self, small_road):
+        s, t = 0, 20  # close pair: pruning should bite hard
+        b = run_policy(small_road, BiDS(s, t), strategy=DeltaStepping(30.0))
+        e = run_policy(small_road, EarlyTermination(s, t), strategy=DeltaStepping(30.0))
+        assert b.relaxations <= e.relaxations
+
+    def test_no_vertex_relaxed_beyond_half_mu(self, small_road):
+        """After termination no *settled* vertex used by the run violated
+        the μ/2 bound: distances strictly beyond μ/2 + max edge weight
+        cannot have been expanded."""
+        s, t = 3, 140
+        res = run_policy(small_road, BiDS(s, t))
+        mu = res.answer
+        wmax = small_road.weights.max()
+        for side in (0, 1):
+            d = res.dist[side]
+            finite = d[np.isfinite(d)]
+            assert finite.max() <= mu / 2 + wmax + 1e-9
+
+    def test_disconnected_early_exit(self, disconnected_graph):
+        res = run_policy(disconnected_graph, BiDS(0, 4))
+        assert np.isinf(res.answer)
+
+    def test_disconnected_exit_saves_work(self):
+        """App. B: with the optimization the search stops as soon as one
+        side drains; without it both components are exhausted."""
+        from repro.graphs import build_graph
+
+        # Big component around s, tiny around t.
+        edges = [(i, i + 1, 1.0) for i in range(50)] + [(60, 61, 1.0)]
+        g = build_graph(edges, num_vertices=62)
+        fast = run_policy(g, BiDS(0, 61))
+        slow = run_policy(g, BiDS(0, 61, disconnected_early_exit=False))
+        assert np.isinf(fast.answer) and np.isinf(slow.answer)
+        assert fast.relaxations <= slow.relaxations
+
+    def test_directed_cycle(self):
+        from repro.graphs import build_graph
+
+        g = build_graph(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)], directed=True
+        )
+        assert run_policy(g, BiDS(0, 3)).answer == 3.0
+        assert run_policy(g, BiDS(3, 0)).answer == 1.0
+
+
+class TestBiDAStar:
+    def test_road_distance(self, small_road):
+        ref = dijkstra(small_road, 0)
+        res = run_policy(small_road, BiDAStar(0, 143))
+        assert res.answer == pytest.approx(ref[143])
+
+    def test_knn_distance(self, small_knn):
+        ref = dijkstra(small_knn, 10)
+        res = run_policy(small_knn, BiDAStar(10, 250))
+        assert res.answer == pytest.approx(ref[250])
+
+    def test_many_random_pairs_road(self, small_road):
+        rng = np.random.default_rng(4)
+        n = small_road.num_vertices
+        for _ in range(8):
+            s, t = (int(x) for x in rng.integers(0, n, size=2))
+            ref = dijkstra(small_road, s)[t]
+            got = run_policy(small_road, BiDAStar(s, t)).answer
+            if np.isinf(ref):
+                assert np.isinf(got)
+            else:
+                assert got == pytest.approx(ref), (s, t)
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [DeltaStepping(25.0), RhoStepping(8), BellmanFord()],
+        ids=["delta", "rho", "bellman-ford"],
+    )
+    def test_correct_under_any_stepping(self, strategy, small_road):
+        """Thm. 3.4 holds for any stepping algorithm."""
+        ref = dijkstra(small_road, 2)[130]
+        got = run_policy(small_road, BiDAStar(2, 130), strategy=strategy).answer
+        assert got == pytest.approx(ref)
+
+    def test_heuristics_sum_to_zero(self, small_road):
+        """Consistency fix of Sec. 3.5: h_F(v) + h_B(v) = 0 for all v."""
+        res = run_policy(small_road, BiDAStar(0, 100))
+        pol = res.policy
+        n = small_road.num_vertices
+        v = np.arange(n)
+        hf = pol._h_signed(v)          # forward ids: e = v
+        hb = pol._h_signed(v + n)      # backward ids: e = n + v
+        assert np.allclose(hf + hb, 0.0)
+
+    def test_source_equals_target(self, small_road):
+        assert run_policy(small_road, BiDAStar(9, 9)).answer == 0.0
+
+    def test_needs_coordinates(self, small_social):
+        with pytest.raises(ValueError, match="no coordinates"):
+            run_policy(small_social, BiDAStar(0, 5))
+
+    def test_memoization_flag_threads_through(self, small_road):
+        res = run_policy(small_road, BiDAStar(0, 100, memoize=True))
+        assert res.policy.h_s.calls > res.policy.h_s.evaluated
+
+    def test_prunes_at_least_as_well_as_bids_far_pair(self, small_road):
+        """For a far pair the heuristic guidance should not increase work
+        much; typically it decreases it."""
+        s, t = 0, small_road.num_vertices - 1
+        ba = run_policy(small_road, BiDAStar(s, t), strategy=DeltaStepping(30.0))
+        b = run_policy(small_road, BiDS(s, t), strategy=DeltaStepping(30.0))
+        assert ba.relaxations <= b.relaxations * 1.2
+
+    def test_disconnected(self):
+        from repro.graphs import from_edges
+
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 0.0], [6.0, 0.0]])
+        g = from_edges(
+            [0, 2], [1, 3], [1.5, 1.5],
+            num_vertices=4, coords=coords, coord_system="euclidean",
+        )
+        assert np.isinf(run_policy(g, BiDAStar(0, 3)).answer)

@@ -1,0 +1,111 @@
+"""Single-query policy tests: ET and A* (Table 2, top block)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import dijkstra
+from repro.core.engine import run_policy
+from repro.core.policies import AStar, EarlyTermination, SsspPolicy
+from repro.core.stepping import DeltaStepping
+from repro.heuristics.geometric import Heuristic, ZeroHeuristic
+
+
+class TestEarlyTermination:
+    def test_line_distance(self, line_graph):
+        assert run_policy(line_graph, EarlyTermination(0, 4)).answer == 10.0
+
+    def test_source_equals_target(self, line_graph):
+        assert run_policy(line_graph, EarlyTermination(2, 2)).answer == 0.0
+
+    def test_unreachable_returns_inf(self, disconnected_graph):
+        assert np.isinf(run_policy(disconnected_graph, EarlyTermination(0, 4)).answer)
+
+    def test_matches_dijkstra_on_random(self, random_graph_factory):
+        g = random_graph_factory(80, 300, seed=1)
+        ref = dijkstra(g, 3)
+        for t in (0, 17, 42, 79):
+            assert run_policy(g, EarlyTermination(3, t)).answer == pytest.approx(ref[t])
+
+    def test_prunes_vs_sssp(self, small_road):
+        """ET must do no more relaxation work than SSSP for a close pair."""
+        s, t = 0, 1
+        et = run_policy(small_road, EarlyTermination(s, t), strategy=DeltaStepping(50.0))
+        ss = run_policy(small_road, SsspPolicy(s), strategy=DeltaStepping(50.0))
+        assert et.relaxations <= ss.relaxations
+
+    def test_query_out_of_range(self, line_graph):
+        with pytest.raises(ValueError):
+            run_policy(line_graph, EarlyTermination(0, 99))
+
+    def test_distance_row_usable_for_path(self, small_road):
+        res = run_policy(small_road, EarlyTermination(0, 77))
+        # The partial distance row must be exact on the s-t path itself.
+        from repro.core.paths import walk_path
+
+        p = walk_path(small_road, res.dist[0], 0, 77)
+        assert p[0] == 0 and p[-1] == 77
+
+
+class _CountingZero(Heuristic):
+    def _compute(self, vertices):
+        return np.zeros(len(vertices))
+
+
+class TestAStar:
+    def test_geometric_heuristic_road(self, small_road):
+        ref = dijkstra(small_road, 0)
+        res = run_policy(small_road, AStar(0, 100))
+        assert res.answer == pytest.approx(ref[100])
+
+    def test_geometric_heuristic_knn(self, small_knn):
+        ref = dijkstra(small_knn, 2)
+        res = run_policy(small_knn, AStar(2, 200))
+        assert res.answer == pytest.approx(ref[200])
+
+    def test_zero_heuristic_equals_et(self, small_road):
+        """A* with h=0 must produce exactly ET's behavior."""
+        s, t = 0, 120
+        a = run_policy(
+            small_road,
+            AStar(s, t, heuristic=ZeroHeuristic()),
+            strategy=DeltaStepping(40.0),
+        )
+        e = run_policy(small_road, EarlyTermination(s, t), strategy=DeltaStepping(40.0))
+        assert a.answer == e.answer
+        assert a.relaxations == e.relaxations
+        assert a.steps == e.steps
+
+    def test_needs_coordinates(self, small_social):
+        with pytest.raises(ValueError, match="no coordinates"):
+            run_policy(small_social, AStar(0, 5))
+
+    def test_explicit_heuristic_accepted_without_coords(self, small_social):
+        res = run_policy(small_social, AStar(0, 5, heuristic=ZeroHeuristic()))
+        assert res.answer == pytest.approx(dijkstra(small_social, 0)[5])
+
+    def test_astar_prunes_no_less_than_et(self, small_road):
+        """With an admissible h, A* relaxes at most what ET relaxes."""
+        s, t = 0, small_road.num_vertices - 1
+        a = run_policy(small_road, AStar(s, t), strategy=DeltaStepping(30.0))
+        e = run_policy(small_road, EarlyTermination(s, t), strategy=DeltaStepping(30.0))
+        assert a.relaxations <= e.relaxations * 1.05  # allow step-boundary noise
+
+    def test_memoized_heuristic_computes_each_vertex_once(self, small_road):
+        res = run_policy(small_road, AStar(0, 130, memoize=True))
+        h = res.policy.heuristic
+        assert h.evaluated <= small_road.num_vertices
+        assert h.calls > h.evaluated  # reuse actually happened
+
+    def test_unmemoized_heuristic_recomputes(self, small_road):
+        res = run_policy(small_road, AStar(0, 130, memoize=False))
+        h = res.policy.heuristic
+        assert h.calls == h.evaluated
+
+    def test_source_equals_target(self, small_road):
+        assert run_policy(small_road, AStar(7, 7)).answer == 0.0
+
+    def test_heuristic_work_charged_to_meter(self, small_road):
+        with_h = run_policy(small_road, AStar(0, 130, memoize=False))
+        no_h = run_policy(small_road, EarlyTermination(0, 130))
+        # Heuristic evaluations add work beyond relaxations.
+        assert with_h.meter.work > no_h.meter.work * 0.9

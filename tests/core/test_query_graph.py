@@ -1,0 +1,197 @@
+"""Query graph abstraction and vertex cover tests (Sec. 4.1 / 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.query_graph import PATTERNS, QueryGraph, vertex_cover
+
+
+class TestConstruction:
+    def test_basic(self):
+        qg = QueryGraph([(10, 20), (20, 30)])
+        assert qg.num_vertices == 3
+        assert qg.num_edges == 2
+        assert list(qg.vertices) == [10, 20, 30]
+
+    def test_duplicate_pairs_collapse(self):
+        qg = QueryGraph([(1, 2), (1, 2), (2, 1)])
+        assert qg.num_edges == 1
+
+    def test_reversed_pair_is_same_query_undirected(self):
+        qg = QueryGraph([(5, 9), (9, 5)])
+        assert qg.num_edges == 1
+
+    def test_directed_keeps_order(self):
+        qg = QueryGraph([(5, 9), (9, 5)], directed=True)
+        assert qg.num_edges == 2
+        assert qg.direction is not None
+
+    def test_directed_bipartite_split(self):
+        qg = QueryGraph([(1, 2), (3, 2)], directed=True)
+        # Sources {1,3} forward, target {2} backward.
+        dirs = {int(v): int(d) for v, d in zip(qg.vertices, qg.direction)}
+        assert dirs[1] == 1 and dirs[3] == 1 and dirs[2] == -1
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            QueryGraph([])
+
+    def test_index_of(self):
+        qg = QueryGraph([(100, 7)])
+        assert qg.vertices[qg.index_of(100)] == 100
+
+    def test_neighbors_symmetric(self):
+        qg = QueryGraph([(1, 2), (2, 3)])
+        i1, i2, i3 = (qg.index_of(v) for v in (1, 2, 3))
+        assert list(qg.neighbors(i2)) == sorted([i1, i3])
+        assert qg.degree(i2) == 2 and qg.degree(i1) == 1
+
+
+class TestPatterns:
+    def test_separate(self):
+        qg = QueryGraph.separate([1, 2, 3, 4, 5, 6])
+        assert qg.num_edges == 3
+        assert all(qg.degree(i) == 1 for i in range(qg.num_vertices))
+
+    def test_separate_odd_rejected(self):
+        with pytest.raises(ValueError):
+            QueryGraph.separate([1, 2, 3])
+
+    def test_chain(self):
+        qg = QueryGraph.chain([4, 8, 15, 16])
+        assert qg.num_edges == 3
+        degs = sorted(qg.degree(i) for i in range(4))
+        assert degs == [1, 1, 2, 2]
+
+    def test_star(self):
+        qg = QueryGraph.star(0, [1, 2, 3, 4, 5])
+        assert qg.num_edges == 5
+        assert qg.degree(qg.index_of(0)) == 5
+
+    def test_fork(self):
+        qg = QueryGraph.fork([1, 2, 3, 4, 5, 6])
+        # chain 1-2-3-4 plus 4-5, 4-6.
+        assert qg.num_edges == 5
+        assert qg.degree(qg.index_of(4)) == 3
+
+    def test_diamond(self):
+        qg = QueryGraph.diamond([1, 2, 3, 4, 5, 6])
+        assert qg.num_edges == 8  # 2 hubs x 4 others
+        assert qg.degree(qg.index_of(1)) == 4
+
+    def test_bipartite(self):
+        qg = QueryGraph.bipartite([1, 2], [3, 4, 5])
+        assert qg.num_edges == 6
+
+    def test_clique(self):
+        qg = QueryGraph.clique([1, 2, 3, 4])
+        assert qg.num_edges == 6
+
+    def test_random_pattern_deterministic(self):
+        a = QueryGraph.random_pattern([1, 2, 3, 4, 5, 6], 7, seed=3)
+        b = QueryGraph.random_pattern([1, 2, 3, 4, 5, 6], 7, seed=3)
+        assert a.edges == b.edges
+        assert a.num_edges == 7
+
+    def test_random_pattern_too_many_edges(self):
+        with pytest.raises(ValueError):
+            QueryGraph.random_pattern([1, 2, 3], 5)
+
+    def test_all_registry_patterns_build_on_six(self):
+        vs = [3, 14, 15, 92, 65, 35]
+        for name, make in PATTERNS.items():
+            qg = make(vs)
+            assert qg.num_edges >= 3, name
+
+
+class TestVertexCover:
+    def _check_cover(self, qg, cover):
+        chosen = set(int(c) for c in cover)
+        for a, b in qg.edges:
+            if a != b:
+                assert a in chosen or b in chosen
+
+    def test_star_cover_is_center(self):
+        qg = QueryGraph.star(0, [1, 2, 3, 4, 5])
+        cover = vertex_cover(qg)
+        assert len(cover) == 1
+        assert int(qg.vertices[cover[0]]) == 0
+
+    def test_chain_cover_every_other(self):
+        """The paper's multi-stop observation: chain cover = every other
+        vertex, so a 6-stop chain needs <= 3 SSSPs."""
+        qg = QueryGraph.chain([1, 2, 3, 4, 5, 6])
+        cover = vertex_cover(qg)
+        self._check_cover(qg, cover)
+        assert len(cover) <= 3
+
+    def test_clique_cover_is_all_but_one(self):
+        qg = QueryGraph.clique([1, 2, 3, 4, 5])
+        cover = vertex_cover(qg)
+        self._check_cover(qg, cover)
+        assert len(cover) == 4
+
+    def test_bipartite_cover_is_smaller_side(self):
+        qg = QueryGraph.bipartite([1, 2], [3, 4, 5, 6])
+        cover = vertex_cover(qg)
+        self._check_cover(qg, cover)
+        assert len(cover) == 2
+
+    def test_exact_is_minimum_on_small_graphs(self):
+        # Path of 4 edges: optimal cover has 2 vertices.
+        qg = QueryGraph.chain([10, 20, 30, 40, 50])
+        assert len(vertex_cover(qg)) == 2
+
+    def test_greedy_covers_large_graphs(self):
+        rng = np.random.default_rng(1)
+        pairs = [(int(a), int(b)) for a, b in rng.integers(0, 40, size=(120, 2)) if a != b]
+        qg = QueryGraph(pairs)
+        cover = vertex_cover(qg, exact_limit=4)  # force greedy path
+        self._check_cover(qg, cover)
+
+    def test_self_loop_only_needs_nothing(self):
+        qg = QueryGraph([(1, 1)])
+        assert len(vertex_cover(qg)) == 0
+
+    def test_method_on_class(self):
+        qg = QueryGraph.star(9, [1, 2])
+        assert len(qg.vertex_cover()) == 1
+
+
+class TestDirectedCopies:
+    def test_same_vertex_both_roles_two_copies(self):
+        qg = QueryGraph([(1, 2), (2, 3)], directed=True)
+        verts = qg.vertices.tolist()
+        # 2 appears once per role.
+        assert verts.count(2) == 2
+
+    def test_self_pair_directed(self):
+        qg = QueryGraph([(5, 5)], directed=True)
+        assert qg.num_vertices == 2  # source copy + target copy
+        assert qg.num_edges == 1
+
+    def test_edges_always_source_to_target_side(self):
+        qg = QueryGraph([(0, 1), (1, 0), (0, 2)], directed=True)
+        for a, b in qg.edges:
+            assert qg.direction[a] == 1 and qg.direction[b] == -1
+
+    def test_index_of_prefers_source_copy(self):
+        qg = QueryGraph([(1, 2), (2, 3)], directed=True)
+        i = qg.index_of(2)
+        assert qg.direction[i] == 1
+
+
+class TestKoenigCover:
+    def test_matching_saturates_smaller_side(self):
+        # K_{2,4}: minimum cover = the 2 sources.
+        qg = QueryGraph(
+            [(s, t) for s in (0, 1) for t in (10, 11, 12, 13)], directed=True
+        )
+        cover = vertex_cover(qg)
+        assert len(cover) == 2
+        assert all(qg.direction[c] == 1 for c in cover)
+
+    def test_perfect_matching_case(self):
+        # Disjoint directed pairs: cover size == number of queries.
+        qg = QueryGraph([(0, 10), (1, 11), (2, 12)], directed=True)
+        assert len(vertex_cover(qg)) == 3

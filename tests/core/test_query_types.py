@@ -1,0 +1,83 @@
+"""Named query-type API tests (the paper's Sec. 1 taxonomy)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import dijkstra
+from repro.core.query_types import arbitrary_batch, multi_stop, pairwise, ssmt, subset_apsp
+
+
+class TestSSMT:
+    def test_distances_exact(self, small_road):
+        res = ssmt(small_road, 0, [10, 20, 30])
+        ref = dijkstra(small_road, 0)
+        for t in (10, 20, 30):
+            assert res.distance(0, t) == pytest.approx(ref[t])
+
+    def test_few_targets_uses_multi(self, small_road):
+        res = ssmt(small_road, 0, [10, 20])
+        assert res.method == "multi"
+
+    def test_many_targets_uses_sssp(self, small_road):
+        res = ssmt(small_road, 0, list(range(10, 22)))
+        assert res.method == "sssp-vc"
+        assert res.num_searches == 1
+
+    def test_method_override(self, small_road):
+        res = ssmt(small_road, 0, [10, 20], method="plain-bids")
+        assert res.method == "plain-bids"
+
+
+class TestPairwise:
+    def test_full_matrix(self, small_knn):
+        ws, ts = [0, 5], [100, 150, 200]
+        res = pairwise(small_knn, ws, ts)
+        assert len(res.distances) == 6
+        for w in ws:
+            ref = dijkstra(small_knn, w)
+            for t in ts:
+                assert res.distance(w, t) == pytest.approx(ref[t])
+
+
+class TestMultiStop:
+    def test_legs_and_trip_length(self, small_road):
+        stops = [0, 40, 80, 120]
+        res = multi_stop(small_road, stops)
+        legs = [dijkstra(small_road, a)[b] for a, b in zip(stops[:-1], stops[1:])]
+        assert res.details["trip_length"] == pytest.approx(sum(legs))
+
+    def test_disconnected_leg_gives_inf_trip(self, disconnected_graph):
+        res = multi_stop(disconnected_graph, [0, 2, 4], method="plain-bids")
+        assert np.isinf(res.details["trip_length"])
+
+    def test_vc_needs_every_other_stop(self, small_road):
+        res = multi_stop(small_road, [0, 30, 60, 90, 120, 7], method="sssp-vc")
+        assert res.num_searches <= 3
+
+
+class TestSubsetApsp:
+    def test_all_pairs_present(self, small_social):
+        group = [1, 5, 9, 13]
+        res = subset_apsp(small_social, group)
+        assert len(res.distances) == 6
+        ref = dijkstra(small_social, 1)
+        assert res.distance(1, 9) == pytest.approx(ref[9])
+
+    def test_symmetric_lookup(self, small_social):
+        res = subset_apsp(small_social, [2, 4, 6])
+        assert res.distance(6, 2) == res.distance(2, 6)
+
+
+class TestArbitraryBatch:
+    def test_overlapping_pairs(self, small_road):
+        res = arbitrary_batch(small_road, [(0, 50), (50, 100), (0, 100)])
+        ref0 = dijkstra(small_road, 0)
+        ref50 = dijkstra(small_road, 50)
+        assert res.distance(0, 50) == pytest.approx(ref0[50])
+        assert res.distance(50, 100) == pytest.approx(ref50[100])
+        assert res.distance(0, 100) == pytest.approx(ref0[100])
+
+    def test_accepts_any_batch_method(self, small_road):
+        for method in ("multi", "sssp-vc", "plain-bids"):
+            res = arbitrary_batch(small_road, [(0, 9), (9, 18)], method=method)
+            assert res.method == method

@@ -1,0 +1,94 @@
+"""Differential testing: vectorized engine vs the literal Alg. 2 loop."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import run_policy
+from repro.core.policies import BiDS, EarlyTermination, MultiPPSP, SsspPolicy
+from repro.core.query_graph import QueryGraph
+from repro.core.reference import run_policy_reference
+from repro.core.stepping import BellmanFord, DeltaStepping
+from repro.graphs import from_edges
+
+
+@st.composite
+def graphs_strategy(draw, max_n=14, max_m=40):
+    n = draw(st.integers(2, max_n))
+    m = draw(st.integers(1, max_m))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    w = draw(st.lists(st.floats(0.0, 30.0, allow_nan=False), min_size=m, max_size=m))
+    return from_edges(src, dst, np.asarray(w), num_vertices=n, dedupe=True)
+
+
+COMMON = dict(deadline=None, max_examples=30,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestAgainstVectorizedEngine:
+    @settings(**COMMON)
+    @given(graphs_strategy(), st.data())
+    def test_sssp_identical_distances(self, g, data):
+        s = data.draw(st.integers(0, g.num_vertices - 1))
+        fast = run_policy(g, SsspPolicy(s), strategy=DeltaStepping(5.0))
+        _, ref = run_policy_reference(g, SsspPolicy(s), strategy=DeltaStepping(5.0))
+        assert np.allclose(fast.dist, ref, equal_nan=False)
+
+    @settings(**COMMON)
+    @given(graphs_strategy(), st.data())
+    def test_et_and_bids_same_answer(self, g, data):
+        s = data.draw(st.integers(0, g.num_vertices - 1))
+        t = data.draw(st.integers(0, g.num_vertices - 1))
+        for make in (lambda: EarlyTermination(s, t), lambda: BiDS(s, t)):
+            fast = run_policy(g, make(), strategy=BellmanFord()).answer
+            ref, _ = run_policy_reference(g, make(), strategy=BellmanFord())
+            if np.isinf(ref):
+                assert np.isinf(fast)
+            else:
+                assert fast == pytest.approx(ref)
+
+    @settings(**COMMON)
+    @given(graphs_strategy(max_n=10), st.data())
+    def test_multippsp_same_answers(self, g, data):
+        n = g.num_vertices
+        k = data.draw(st.integers(2, min(5, n)))
+        verts = data.draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k,
+                                   unique=True))
+        pairs = list(zip(verts[:-1], verts[1:]))
+        fast = run_policy(g, MultiPPSP(QueryGraph(pairs)), strategy=DeltaStepping(4.0))
+        ref, _ = run_policy_reference(
+            g, MultiPPSP(QueryGraph(pairs)), strategy=DeltaStepping(4.0)
+        )
+        assert fast.answer.keys() == ref.keys()
+        for key in ref:
+            a, b = fast.answer[key], ref[key]
+            if np.isinf(b):
+                assert np.isinf(a)
+            else:
+                assert a == pytest.approx(b), key
+
+
+class TestReferenceFixtures:
+    def test_line(self, line_graph):
+        ans, dist = run_policy_reference(line_graph, EarlyTermination(0, 4))
+        assert ans == 10.0
+
+    def test_settled_row_matches_dijkstra(self, small_road):
+        from repro.baselines import dijkstra
+
+        _, dist = run_policy_reference(small_road, SsspPolicy(0))
+        assert np.allclose(dist[0], dijkstra(small_road, 0))
+
+    def test_directed_bids(self):
+        from repro.graphs import build_graph
+
+        g = build_graph([(0, 1, 2.0), (1, 2, 3.0)], directed=True)
+        ans, _ = run_policy_reference(g, BiDS(0, 2))
+        assert ans == 5.0
+
+    def test_max_steps(self, small_road):
+        _, dist = run_policy_reference(small_road, SsspPolicy(0), max_steps=1)
+        # Only the first wave is settled.
+        assert np.isfinite(dist[0]).sum() < small_road.num_vertices

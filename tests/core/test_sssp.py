@@ -1,0 +1,40 @@
+"""SSSP convenience wrapper tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import dijkstra
+from repro.core.sssp import sssp, sssp_distances
+from repro.core.stepping import RhoStepping
+
+
+class TestSssp:
+    def test_matches_oracle(self, small_social):
+        assert np.allclose(sssp_distances(small_social, 0), dijkstra(small_social, 0))
+
+    def test_result_carries_meter(self, line_graph):
+        res = sssp(line_graph, 0)
+        assert res.meter.work > 0
+        assert res.steps > 0
+
+    def test_strategy_passthrough(self, small_road):
+        got = sssp_distances(small_road, 3, strategy=RhoStepping(7))
+        assert np.allclose(got, dijkstra(small_road, 3))
+
+    def test_unreachable_inf(self, disconnected_graph):
+        d = sssp_distances(disconnected_graph, 3)
+        assert d[3] == 0.0 and d[4] == 1.0
+        assert np.isinf(d[0])
+
+    def test_every_source_consistent(self, small_knn):
+        """Symmetric graph: d(a, b) == d(b, a) across full SSSP runs."""
+        da = sssp_distances(small_knn, 0)
+        db = sssp_distances(small_knn, 99)
+        assert da[99] == pytest.approx(db[0])
+
+    def test_triangle_inequality_holds(self, small_road):
+        """SSSP distances satisfy d(s,v) <= d(s,u) + w(u,v) for all edges."""
+        d = sssp_distances(small_road, 0)
+        src, dst, w = small_road.edges()
+        finite = np.isfinite(d[src])
+        assert (d[dst][finite] <= d[src][finite] + w[finite] + 1e-9).all()

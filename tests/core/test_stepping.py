@@ -1,0 +1,100 @@
+"""Stepping strategy (GetDist) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.stepping import (
+    BellmanFord,
+    DeltaStepping,
+    DijkstraOrder,
+    RhoStepping,
+    default_strategy,
+)
+from repro.graphs import build_graph
+
+
+class TestDeltaStepping:
+    def test_threshold_is_bucket_end_of_minimum(self):
+        s = DeltaStepping(10.0)
+        assert s.threshold(np.array([3.0, 25.0])) == 10.0
+        assert s.threshold(np.array([12.0])) == 20.0
+
+    def test_threshold_always_above_minimum(self):
+        s = DeltaStepping(5.0)
+        for lo in (0.0, 4.99, 5.0, 7.3, 123.4):
+            th = s.threshold(np.array([lo, lo + 50]))
+            assert th > lo
+
+    def test_exact_boundary_moves_to_next_bucket(self):
+        s = DeltaStepping(10.0)
+        # 10.0 sits in bucket 1 -> threshold 20.
+        assert s.threshold(np.array([10.0])) == 20.0
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            DeltaStepping(0.0)
+        with pytest.raises(ValueError):
+            DeltaStepping(-1.0)
+
+    def test_reset_is_noop_but_callable(self):
+        s = DeltaStepping(1.0)
+        s.reset()
+        assert s.threshold(np.array([0.5])) == 1.0
+
+
+class TestRhoStepping:
+    def test_small_frontier_takes_everything(self):
+        s = RhoStepping(10)
+        assert s.threshold(np.array([1.0, 2.0])) == float("inf")
+
+    def test_takes_rho_smallest(self):
+        s = RhoStepping(3)
+        prios = np.array([9.0, 1.0, 5.0, 3.0, 7.0])
+        th = s.threshold(prios)
+        assert th == 5.0
+        assert (prios <= th).sum() >= 3
+
+    def test_rho_one_is_dijkstra_like(self):
+        s = RhoStepping(1)
+        assert s.threshold(np.array([4.0, 2.0, 8.0])) == 2.0
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            RhoStepping(0)
+
+
+class TestOtherStrategies:
+    def test_bellman_ford_takes_all(self):
+        assert BellmanFord().threshold(np.array([1e12])) == float("inf")
+
+    def test_dijkstra_order_takes_minimum(self):
+        assert DijkstraOrder().threshold(np.array([4.0, 2.0])) == 2.0
+
+
+class TestDefaultStrategy:
+    def test_scales_with_mean_weight(self):
+        g = build_graph([(0, 1, 10.0), (1, 2, 30.0)])
+        s = default_strategy(g)
+        assert isinstance(s, DeltaStepping)
+        assert s.delta == pytest.approx(40.0)  # 2 * mean(10,30,10,30)
+
+    def test_empty_graph_gets_unit_delta(self):
+        g = build_graph([], num_vertices=2)
+        assert default_strategy(g).delta == 1.0
+
+
+class TestStrategiesAgreeOnDistances:
+    """All GetDist plug-ins must give identical SSSP answers."""
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [DeltaStepping(1.0), DeltaStepping(100.0), RhoStepping(2), BellmanFord(), DijkstraOrder()],
+        ids=["delta-fine", "delta-coarse", "rho", "bellman-ford", "dijkstra"],
+    )
+    def test_sssp_matches_oracle(self, strategy, random_graph_factory):
+        from repro.baselines import dijkstra
+        from repro.core.sssp import sssp_distances
+
+        g = random_graph_factory(60, 200, seed=17)
+        got = sssp_distances(g, 0, strategy=strategy)
+        assert np.allclose(got, dijkstra(g, 0), equal_nan=False)

@@ -1,0 +1,101 @@
+"""Engine step-trace tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run_policy
+from repro.core.policies import BiDS, EarlyTermination, MultiPPSP, SsspPolicy
+from repro.core.query_graph import QueryGraph
+from repro.core.tracing import StepTrace
+
+
+class TestTraceContents:
+    def test_one_record_per_step(self, small_road):
+        tr = StepTrace()
+        res = run_policy(small_road, SsspPolicy(0), trace=tr)
+        assert len(tr) == res.steps
+
+    def test_steps_numbered_consecutively(self, small_road):
+        tr = StepTrace()
+        run_policy(small_road, BiDS(0, 100), trace=tr)
+        assert [r.step for r in tr] == list(range(len(tr)))
+
+    def test_counts_consistent_with_run(self, small_road):
+        tr = StepTrace()
+        res = run_policy(small_road, EarlyTermination(0, 100), trace=tr)
+        assert sum(r.relaxed_edges for r in tr) == res.relaxations
+
+    def test_theta_nondecreasing_for_delta(self, small_road):
+        from repro.core.stepping import DeltaStepping
+
+        tr = StepTrace()
+        run_policy(small_road, SsspPolicy(0), strategy=DeltaStepping(30.0), trace=tr)
+        thetas = [r.theta for r in tr]
+        assert all(b >= a for a, b in zip(thetas, thetas[1:]))
+
+    def test_mu_monotone_nonincreasing(self, small_road):
+        tr = StepTrace()
+        res = run_policy(small_road, BiDS(3, 120), trace=tr)
+        mus = [r.mu for r in tr]
+        finite_seen = False
+        for a, b in zip(mus, mus[1:]):
+            if np.isfinite(a):
+                finite_seen = True
+                assert b <= a + 1e-12
+        assert finite_seen
+        assert mus[-1] == pytest.approx(res.answer)
+
+    def test_sssp_mu_is_nan(self, line_graph):
+        tr = StepTrace()
+        run_policy(line_graph, SsspPolicy(0), trace=tr)
+        assert all(np.isnan(r.mu) for r in tr)
+
+    def test_multippsp_traces_loosest_radius(self, small_road):
+        tr = StepTrace()
+        res = run_policy(small_road, MultiPPSP(QueryGraph([(0, 30), (30, 90)])), trace=tr)
+        final = tr.records[-1].mu
+        assert final == pytest.approx(max(res.answer.values()))
+
+    def test_pruning_visible_after_mu(self, small_road):
+        tr = StepTrace()
+        run_policy(small_road, BiDS(0, 20), trace=tr)
+        settled = tr.mu_settled_step()
+        assert settled is not None
+        assert sum(r.pruned for r in tr.records[settled:]) > 0
+
+
+class TestTraceAnalysis:
+    def test_summary_fields(self, small_road):
+        tr = StepTrace()
+        run_policy(small_road, BiDS(0, 100), trace=tr)
+        s = tr.summary()
+        assert s["steps"] == len(tr)
+        assert s["peak_frontier"] >= 2
+        assert np.isfinite(s["final_mu"])
+
+    def test_empty_trace(self):
+        tr = StepTrace()
+        assert tr.summary()["steps"] == 0
+        assert tr.mu_settled_step() is None
+
+    def test_render_truncates_long_traces(self, small_road):
+        tr = StepTrace()
+        run_policy(small_road, SsspPolicy(0), trace=tr)
+        out = tr.render(max_rows=6)
+        if len(tr) > 6:
+            assert "..." in out
+        assert "theta" in out
+
+    def test_record_round_trip(self, line_graph):
+        tr = StepTrace()
+        run_policy(line_graph, SsspPolicy(0), trace=tr)
+        d = tr.records[0].as_dict()
+        assert set(d) == {
+            "step", "theta", "frontier_size", "extracted", "pruned",
+            "relaxed_edges", "improved", "mu",
+        }
+
+    def test_no_trace_zero_overhead_path(self, small_road):
+        """Engine accepts trace=None (the default) without error."""
+        res = run_policy(small_road, BiDS(0, 50), trace=None)
+        assert np.isfinite(res.answer)

@@ -1,0 +1,143 @@
+"""Smoke tests for the experiment modules (tiny scale, few pairs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4, fig5, fig6, fig7, table3, table4
+from repro.experiments.suite import build_graph
+
+
+class TestTable3:
+    def test_collect_covers_all_graphs(self):
+        stats = table3.collect("tiny")
+        assert len(stats) == 14
+        for row in stats.values():
+            assert row["n"] > 0 and row["m"] > 0
+            assert 0 < row["lcc_percent"] <= 100.0
+
+    def test_heuristic_assignment(self):
+        stats = table3.collect("tiny")
+        assert stats["EU"]["heuristic"] == "Spherical"
+        assert stats["COS5"]["heuristic"] == "Euclidean"
+        assert stats["OK"]["heuristic"] == "-"
+
+    def test_road_diameter_exceeds_social(self):
+        stats = table3.collect("tiny")
+        assert stats["EU"]["diameter"] > stats["OK"]["diameter"]
+
+
+class TestTable4:
+    def test_collect_small_subset(self):
+        data = table4.collect(
+            "tiny", percentiles=(50.0,), num_pairs=1, methods=("sssp", "et", "bids")
+        )
+        times = data["times"][50.0]
+        assert data["mismatches"] == []
+        for m in ("sssp", "et", "bids"):
+            assert len(times[m]) == 14
+            assert all(v > 0 for v in times[m].values())
+
+    def test_summarize_means(self):
+        data = table4.collect(
+            "tiny", percentiles=(1.0,), num_pairs=1, methods=("sssp", "bids")
+        )
+        means = table4.summarize(data["times"])
+        assert means[1.0]["sssp"]["all_mean"] > 0
+        assert means[1.0]["sssp"]["heur_mean"] > 0
+
+    def test_heuristic_methods_skip_social(self):
+        data = table4.collect(
+            "tiny", percentiles=(50.0,), num_pairs=1, methods=("astar",)
+        )
+        graphs = set(data["times"][50.0]["astar"])
+        assert "OK" not in graphs and "NA" in graphs
+
+
+class TestFig4:
+    def test_series_monotone_percentiles(self):
+        g = build_graph("AF", "tiny")
+        data = fig4.collect(g, methods=("sssp", "et", "bids"))
+        for m, pts in data["series"].items():
+            pcts = [p for p, _ in pts]
+            assert pcts == sorted(pcts)
+            assert pcts[-1] == 100.0
+
+
+class TestFig5:
+    def test_curves_monotone(self):
+        g = build_graph("AF", "tiny")
+        data = fig5.collect(g, methods=("sssp", "et", "bids"))
+        for m, curve in data["curves"].items():
+            assert curve[1] == pytest.approx(1.0)
+            vals = [curve[p] for p in sorted(curve)]
+            assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+
+    def test_all_methods_scale_substantially(self):
+        """Every algorithm must show real parallelism on the simulated
+        machine (the strict SSSP >= ET >= BiDS ordering of Fig. 5 is an
+        at-scale average, not a per-tiny-graph law — see DESIGN.md)."""
+        g = build_graph("NA", "tiny")
+        data = fig5.collect(g, methods=("sssp", "et", "bids"))
+        for m, curve in data["curves"].items():
+            assert curve[96] > 4.0, m
+            assert curve[96] >= curve[8] - 1e-9, m
+
+
+class TestFig6:
+    def test_collect_structure(self):
+        """Wall-clock ratios are environment-sensitive at tiny scale, so
+        assert structure here; the memoization *mechanism* (strictly
+        fewer heuristic evaluations) is covered in
+        benchmarks/test_fig6_memoization.py."""
+        data = fig6.collect("tiny", num_pairs=1)
+        assert set(data["categories"].values()) == {"road", "knn"}
+        assert len(data["relative"]) == 8  # 4 road + 4 knn graphs
+        means = fig6.category_means(data)
+        for cat in ("road", "knn"):
+            for variant, val in means[cat].items():
+                assert val > 0, (cat, variant)
+
+
+class TestFig7:
+    def test_two_patterns_two_graphs(self, monkeypatch):
+        from repro.experiments import suite as suite_mod
+
+        # Restrict the suite to two graphs for speed.
+        specs = [s for s in suite_mod.SUITE if s.name in ("AF", "OK")]
+        monkeypatch.setattr(suite_mod, "SUITE", specs)
+        data = fig7.collect("tiny", patterns=("chain", "star"))
+        for pattern in ("chain", "star"):
+            for gname, times in data["normalized"][pattern].items():
+                assert min(times.values()) == pytest.approx(1.0)
+        means = fig7.geomean_rows(data["normalized"])
+        assert set(means) == {"chain", "star"}
+
+
+class TestFig1:
+    def test_search_space_nesting(self):
+        """The paper's Fig. 1 ordering: each pruning technique touches a
+        subset-ish of the plainer one's search space."""
+        from repro.experiments import fig1
+        from repro.graphs.road import road_graph
+
+        g = road_graph(20, 20, seed=4)
+        touched = fig1.touched_sets(g, 105, 294)
+        counts = {k: int(v.sum()) for k, v in touched.items()}
+        assert counts["sssp"] == g.num_vertices
+        assert counts["et"] <= counts["sssp"]
+        assert counts["bids"] <= counts["et"]
+        assert counts["astar"] <= counts["et"]
+        # No subset relation between BiD-A* and A* is guaranteed (the
+        # Thm. 3.4 prune is deliberately looser than BiDS's on the
+        # induced graph); just require real pruning vs plain SSSP.
+        assert counts["bidastar"] < counts["sssp"]
+
+    def test_render_map_marks_endpoints(self):
+        import numpy as np
+
+        from repro.experiments import fig1
+        from repro.graphs.road import road_graph
+
+        g = road_graph(10, 10, seed=1)
+        art = fig1.render_map(g, np.ones(g.num_vertices, dtype=bool), 0, 99)
+        assert "S" in art and "T" in art

@@ -1,0 +1,107 @@
+"""Extension experiment module tests (ALT, preprocessing tradeoff)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ext_alt, ext_preprocessing
+
+
+class TestExtAlt:
+    def test_collect_social_web_only(self, monkeypatch):
+        from repro.experiments import suite as suite_mod
+
+        specs = [s for s in suite_mod.SUITE if s.name in ("OK", "IT")]
+        monkeypatch.setattr(suite_mod, "SUITE", specs)
+        data = ext_alt.collect("tiny", num_landmarks=4, num_pairs=1, percentiles=(50.0,))
+        assert set(data) == {"OK", "IT"}
+        for row in data.values():
+            work = row["work"][50.0]
+            assert set(work) == set(ext_alt.ALGOS)
+            # ALT guidance should beat plain ET in relaxation work.
+            assert work["alt-bidastar"] < work["et"]
+            assert row["preprocess_seconds"] > 0
+
+
+class TestExtPreprocessing:
+    def test_collect_tradeoff_fields(self):
+        data = ext_preprocessing.collect("tiny", num_pairs=3, graphs=("AF", "HH5"))
+        assert set(data) == {"AF", "HH5"}
+        for row in data.values():
+            assert row["preprocess_seconds"] > 0
+            assert row["index_entries"] > 0
+            # Index queries are label merges: far cheaper than a search.
+            assert row["pll_query_seconds"] < row["bids_query_seconds"]
+            assert row["break_even_queries"] > 0
+            # CH runs on road/k-NN graphs and stays exact.
+            assert "ch_query_seconds" in row
+            assert row["ch_shortcuts"] >= 0
+
+
+class TestExtStrategies:
+    def test_collect_agrees_across_strategies(self, monkeypatch):
+        from repro.experiments import ext_strategies
+        from repro.experiments import suite as suite_mod
+
+        specs = [s for s in suite_mod.SUITE if s.name in ("AF",)]
+        monkeypatch.setattr(suite_mod, "SUITE", specs)
+        data = ext_strategies.collect("tiny", num_pairs=1)
+        row = data["AF"]["strategies"]
+        assert set(row) == set(ext_strategies.STRATEGIES)
+        # Dijkstra order pays rounds to save relaxations.
+        assert row["dijkstra"]["steps"] > row["bellman-ford"]["steps"]
+        assert row["dijkstra"]["relaxations"] <= row["bellman-ford"]["relaxations"]
+
+
+class TestExtSsmt:
+    def test_ratio_grows_with_targets(self, monkeypatch):
+        from repro.experiments import ext_ssmt
+        from repro.experiments import suite as suite_mod
+
+        specs = [s for s in suite_mod.SUITE if s.name in ("IT", "NA")]
+        monkeypatch.setattr(suite_mod, "SUITE", specs)
+        data = ext_ssmt.collect("tiny", target_counts=(1, 3, 8))
+        for gname, row in data.items():
+            r = row["ratios"]
+            # More targets always shifts the balance toward one SSSP.
+            assert r[1] < r[8], gname
+
+
+class TestExtDirected:
+    def test_collect_validates_and_reports(self):
+        from repro.experiments import ext_directed
+
+        data = ext_directed.collect("tiny")
+        assert set(data) == {"dir-road", "dir-social"}
+        for row in data.values():
+            # Both roles force copies: more copies than distinct queries' ends.
+            assert row["query_copies"] > 6
+            assert row["koenig_cover"] <= row["methods"]["sssp-plain"]["num_searches"]
+            for m, stats in row["methods"].items():
+                assert stats["work"] > 0, m
+
+    def test_directed_road_is_directed(self):
+        from repro.experiments.ext_directed import directed_road
+
+        g = directed_road(400)
+        assert g.directed
+        # One-way streets: some arcs must lack a reverse.
+        src, dst, _ = g.edges()
+        arcs = set(zip(src.tolist(), dst.tolist()))
+        assert any((b, a) not in arcs for a, b in arcs)
+
+
+class TestDirectedGenerators:
+    def test_directed_social_power_law(self):
+        from repro.experiments.ext_directed import directed_social
+
+        g = directed_social(2000, seed=3)
+        assert g.directed
+        out_degs = np.sort(g.degree())[::-1]
+        assert out_degs[0] > 5 * max(np.median(out_degs), 1)
+
+    def test_directed_road_weights_positive(self):
+        from repro.experiments.ext_directed import directed_road
+
+        g = directed_road(400)
+        assert (g.weights > 0).all()
+        assert g.coord_system == "euclidean"

@@ -1,0 +1,118 @@
+"""run_all driver tests."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import run_all
+
+
+@pytest.fixture
+def results_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestRunAll:
+    def test_only_subset_runs(self, results_env, capsys):
+        durations = run_all.main(["--scale", "tiny", "--only", "table3"])
+        assert set(durations) == {"table3"}
+        assert (results_env / "table3_tiny.log").exists()
+        assert (results_env / "table3_tiny.json").exists()
+        out = capsys.readouterr().out
+        assert "table3 done" in out
+
+    def test_log_captures_module_output(self, results_env):
+        run_all.main(["--scale", "tiny", "--only", "table3"])
+        text = (results_env / "table3_tiny.log").read_text()
+        assert "Table 3" in text
+        assert "OK" in text
+
+    def test_json_results_parse(self, results_env):
+        run_all.main(["--scale", "tiny", "--only", "table3"])
+        payload = json.loads((results_env / "table3_tiny.json").read_text())
+        assert len(payload) == 14
+
+    def test_artifact_registry_complete(self):
+        names = [name for name, _, _ in run_all.ARTIFACTS]
+        for expected in ("fig1", "table3", "table4", "fig4", "fig5", "fig6", "fig7",
+                         "ext_alt", "ext_preprocessing", "ext_strategies", "ext_ssmt"):
+            assert expected in names, expected
+
+    def test_unknown_only_name_is_noop(self, results_env):
+        durations = run_all.main(["--scale", "tiny", "--only", "nonexistent"])
+        assert durations == {}
+
+
+class TestArtifactMains:
+    """Each artifact's main() must run end-to-end at reduced size."""
+
+    def test_fig1_main(self, results_env, capsys):
+        from repro.experiments import fig1
+
+        data = fig1.main(["--size", "14", "--maps"])
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+        assert "[bidastar] search space" in out
+        assert data["counts"]["sssp"] >= data["counts"]["bidastar"]
+
+    def test_fig5_main_with_plot(self, results_env, capsys, monkeypatch):
+        from repro.experiments import fig5, suite as suite_mod
+
+        specs = [s for s in suite_mod.SUITE if s.name == "AF"]
+        monkeypatch.setattr(suite_mod, "SUITE", specs)
+        monkeypatch.setattr(fig5, "REPRESENTATIVES", ("AF",))
+        fig5.main(["--scale", "tiny", "--plot"])
+        out = capsys.readouterr().out
+        assert "speedup vs processors" in out
+        assert "o=sssp" in out  # the ASCII chart legend
+
+    def test_fig7_main_heatmap(self, results_env, capsys, monkeypatch):
+        from repro.experiments import fig7, suite as suite_mod
+
+        specs = [s for s in suite_mod.SUITE if s.name == "AF"]
+        monkeypatch.setattr(suite_mod, "SUITE", specs)
+        fig7.main(["--scale", "tiny", "--plot"])
+        out = capsys.readouterr().out
+        assert "shading" in out  # heatmap legend line
+
+
+class TestReport:
+    def test_report_from_fixture_json(self, results_env):
+        import json
+
+        from repro.experiments.report import build_report
+
+        (results_env / "table4_tiny.json").write_text(json.dumps({
+            "times": {"50.0": {
+                "sssp": {"AF": 0.4, "NA": 0.4},
+                "bids": {"AF": 0.1, "NA": 0.1},
+                "bidastar": {"AF": 0.1, "NA": 0.1},
+                "et": {"AF": 0.2, "NA": 0.2},
+                "mbq-et": {"AF": 1.0, "NA": 1.0},
+                "gi-et": {"AF": 0.15, "NA": 0.15},
+            }},
+            "mismatches": [],
+        }))
+        report = build_report("tiny")
+        assert "4.00x" in report   # SSSP/BiD-A*
+        assert "2.00x" in report   # ET/BiDS
+        assert "WARNING" not in report
+
+    def test_report_flags_mismatches(self, results_env):
+        import json
+
+        (results_env / "table4_tiny.json").write_text(json.dumps({
+            "times": {"1.0": {"sssp": {"AF": 1.0}, "bids": {"AF": 0.5}}},
+            "mismatches": ["boom"],
+        }))
+        from repro.experiments.report import build_report
+
+        assert "WARNING" in build_report("tiny")
+
+    def test_report_empty_dir(self, results_env):
+        from repro.experiments.report import build_report
+
+        out = build_report("medium")
+        assert "No artifacts found" in out

@@ -1,0 +1,52 @@
+"""Graph suite registry tests."""
+
+import pytest
+
+from repro.experiments.suite import SCALES, SUITE, build_graph, build_suite, graphs_with_coords
+
+
+class TestSuite:
+    def test_fourteen_graphs_paper_order(self):
+        names = [s.name for s in SUITE]
+        assert names == [
+            "OK", "LJ", "TW", "FS", "IT", "SD",
+            "AF", "NA", "AS", "EU", "HH5", "CH5", "GL5", "COS5",
+        ]
+
+    def test_categories(self):
+        cats = {s.name: s.category for s in SUITE}
+        assert cats["OK"] == "social" and cats["SD"] == "web"
+        assert cats["EU"] == "road" and cats["COS5"] == "knn"
+
+    def test_build_graph_cached(self):
+        a = build_graph("AF", "tiny")
+        b = build_graph("AF", "tiny")
+        assert a is b
+
+    def test_scales_ordered(self):
+        assert SCALES["tiny"] < SCALES["small"] < SCALES["medium"]
+
+    def test_tiny_scale_sizes(self):
+        g = build_graph("OK", "tiny")
+        assert 100 < g.num_vertices < 5000
+
+    def test_road_and_knn_have_coords(self):
+        for spec, g in graphs_with_coords("tiny"):
+            assert g.has_coords(), spec.name
+            assert spec.category in ("road", "knn")
+
+    def test_social_web_have_no_coords(self):
+        for spec, g in build_suite("tiny", categories=("social", "web")):
+            assert not g.has_coords(), spec.name
+
+    def test_graph_names_match_spec(self):
+        for spec, g in build_suite("tiny"):
+            assert g.name == spec.name
+
+    def test_category_filter(self):
+        got = [spec.name for spec, _ in build_suite("tiny", categories=("road",))]
+        assert got == ["AF", "NA", "AS", "EU"]
+
+    def test_unknown_graph_raises(self):
+        with pytest.raises(KeyError):
+            build_graph("NOPE", "tiny")

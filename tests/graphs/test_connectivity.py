@@ -1,0 +1,85 @@
+"""Connected components and diameter tests."""
+
+import numpy as np
+
+from repro.graphs import build_graph
+from repro.graphs.connectivity import (
+    _bfs_levels,
+    approximate_diameter,
+    component_sizes,
+    connected_components,
+    largest_component,
+)
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        g = build_graph([(0, 1, 1.0), (1, 2, 1.0)])
+        labels = connected_components(g)
+        assert len(set(labels.tolist())) == 1
+
+    def test_two_components(self):
+        g = build_graph([(0, 1, 1.0), (2, 3, 1.0)])
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_isolated_vertices_own_components(self):
+        g = build_graph([(0, 1, 1.0)], num_vertices=4)
+        labels = connected_components(g)
+        assert len(set(labels.tolist())) == 3
+
+    def test_label_is_min_vertex_of_component(self):
+        g = build_graph([(5, 3, 1.0), (3, 7, 1.0)], num_vertices=8)
+        labels = connected_components(g)
+        assert labels[5] == labels[3] == labels[7] == 3
+
+    def test_edgeless_graph(self):
+        g = build_graph([], num_vertices=4)
+        assert list(connected_components(g)) == [0, 1, 2, 3]
+
+    def test_directed_uses_weak_connectivity(self):
+        g = build_graph([(0, 1, 1.0), (2, 1, 1.0)], directed=True)
+        labels = connected_components(g)
+        assert len(set(labels.tolist())) == 1
+
+    def test_long_chain(self):
+        """Pointer jumping must converge on a path graph (worst case)."""
+        n = 200
+        g = build_graph([(i, i + 1, 1.0) for i in range(n - 1)])
+        labels = connected_components(g)
+        assert (labels == 0).all()
+
+
+class TestHelpers:
+    def test_component_sizes(self):
+        g = build_graph([(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+        sizes = component_sizes(connected_components(g))
+        assert sorted(sizes.values()) == [2, 3]
+
+    def test_largest_component(self):
+        g = build_graph([(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+        assert list(largest_component(g)) == [2, 3, 4]
+
+    def test_bfs_levels(self):
+        g = build_graph([(0, 1, 5.0), (1, 2, 5.0), (0, 3, 5.0)])
+        dist = _bfs_levels(g, 0)
+        assert list(dist) == [0, 1, 2, 1]
+
+    def test_bfs_unreachable_is_minus_one(self):
+        g = build_graph([(0, 1, 1.0)], num_vertices=3)
+        assert _bfs_levels(g, 0)[2] == -1
+
+    def test_approximate_diameter_path(self):
+        n = 30
+        g = build_graph([(i, i + 1, 1.0) for i in range(n - 1)])
+        assert approximate_diameter(g, sweeps=3) == n - 1
+
+    def test_approximate_diameter_star(self):
+        g = build_graph([(0, i, 1.0) for i in range(1, 10)])
+        assert approximate_diameter(g) == 2
+
+    def test_diameter_empty(self):
+        g = build_graph([], num_vertices=0)
+        assert approximate_diameter(g) == 0

@@ -1,0 +1,149 @@
+"""CSR graph substrate tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, build_graph, from_edges, symmetrize_edges
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = build_graph([], num_vertices=3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_single_edge_undirected_stores_both_arcs(self):
+        g = build_graph([(0, 1, 2.5)])
+        assert g.num_vertices == 2
+        assert g.num_edges == 2
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(1)) == [0]
+        assert g.neighbor_weights(0)[0] == 2.5
+
+    def test_directed_stores_one_arc(self):
+        g = build_graph([(0, 1, 2.5)], directed=True)
+        assert g.num_edges == 1
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(1)) == []
+
+    def test_num_vertices_inferred_from_max_id(self):
+        g = build_graph([(0, 7, 1.0)])
+        assert g.num_vertices == 8
+
+    def test_explicit_num_vertices_allows_isolated(self):
+        g = build_graph([(0, 1, 1.0)], num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.degree(9) == 0
+
+    def test_self_loop_undirected_not_duplicated(self):
+        g = build_graph([(2, 2, 1.0)], num_vertices=3)
+        assert g.num_edges == 1
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            build_graph([(0, 1, -1.0)])
+
+    def test_indptr_validation(self):
+        with pytest.raises(ValueError):
+            Graph(
+                indptr=np.array([1, 2]),
+                indices=np.array([0]),
+                weights=np.array([1.0]),
+            )
+
+    def test_indptr_tail_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="indptr"):
+            Graph(
+                indptr=np.array([0, 2]),
+                indices=np.array([0]),
+                weights=np.array([1.0]),
+            )
+
+    def test_endpoint_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(
+                indptr=np.array([0, 1]),
+                indices=np.array([5]),
+                weights=np.array([1.0]),
+            )
+
+    def test_coords_row_count_must_match(self):
+        with pytest.raises(ValueError, match="coords"):
+            build_graph([(0, 1, 1.0)], coords=np.zeros((5, 2)))
+
+    def test_dedupe_keeps_min_weight(self):
+        g = from_edges([0, 0], [1, 1], [5.0, 2.0], directed=True, dedupe=True)
+        assert g.num_edges == 1
+        assert g.neighbor_weights(0)[0] == 2.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            from_edges([0], [1, 2], [1.0])
+
+
+class TestAccessors:
+    def test_degree_array(self):
+        g = build_graph([(0, 1, 1.0), (0, 2, 1.0)])
+        assert list(g.degree()) == [2, 1, 1]
+        assert g.degree(0) == 2
+
+    def test_edges_roundtrip(self):
+        triples = [(0, 1, 1.5), (1, 2, 2.5)]
+        g = build_graph(triples, directed=True)
+        src, dst, w = g.edges()
+        assert list(zip(src, dst, w)) == [(0, 1, 1.5), (1, 2, 2.5)]
+
+    def test_has_coords(self):
+        g = build_graph([(0, 1, 1.0)], coords=np.zeros((2, 2)), coord_system="euclidean")
+        assert g.has_coords()
+        assert not build_graph([(0, 1, 1.0)]).has_coords()
+
+
+class TestDerived:
+    def test_reverse_of_undirected_is_self(self):
+        g = build_graph([(0, 1, 1.0)])
+        assert g.reverse() is g
+
+    def test_reverse_of_directed_flips_arcs(self):
+        g = build_graph([(0, 1, 3.0)], directed=True)
+        r = g.reverse()
+        assert list(r.neighbors(1)) == [0]
+        assert r.neighbor_weights(1)[0] == 3.0
+        assert r.reverse() is g  # cached back-reference
+
+    def test_with_weights_shares_topology(self):
+        g = build_graph([(0, 1, 1.0)], directed=True)
+        g2 = g.with_weights(np.array([9.0]))
+        assert g2.neighbor_weights(0)[0] == 9.0
+        assert g2.indices is g.indices
+
+    def test_subgraph_renumbers(self):
+        g = build_graph([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        sub, old = g.subgraph(np.array([1, 2]))
+        assert sub.num_vertices == 2
+        assert list(old) == [1, 2]
+        # The 1-2 edge survives (as 0-1), the others are cut.
+        assert sub.num_edges == 2
+        assert sub.neighbor_weights(0)[0] == 2.0
+
+    def test_subgraph_keeps_coords(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        g = build_graph([(0, 1, 1.0), (1, 2, 1.0)], coords=coords, coord_system="euclidean")
+        sub, old = g.subgraph(np.array([1, 2]))
+        assert np.allclose(sub.coords, coords[[1, 2]])
+
+
+def test_symmetrize_edges_skips_self_loops():
+    src, dst, w = symmetrize_edges(
+        np.array([0, 1]), np.array([1, 1]), np.array([1.0, 2.0])
+    )
+    # Edge (0,1) doubled, loop (1,1) kept single.
+    assert len(src) == 3
+
+
+def test_weights_contiguous_float64():
+    g = build_graph([(0, 1, 1)])
+    assert g.weights.dtype == np.float64
+    assert g.weights.flags["C_CONTIGUOUS"]
+    assert g.indices.dtype == np.int32
+    assert g.indptr.dtype == np.int64

@@ -1,0 +1,77 @@
+"""Generator tests: power-law graphs and the paper's weighting scheme."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import chung_lu_graph, social_graph, uniform_random_weights, web_graph
+from repro.graphs.generators import WEIGHT_RANGE
+
+
+class TestChungLu:
+    def test_basic_shape(self):
+        g = chung_lu_graph(500, 8.0, seed=1)
+        assert g.num_vertices == 500
+        assert not g.directed
+        # Realized degree lands near the request (duplicates drop some).
+        avg = g.num_edges / g.num_vertices
+        assert 4.0 < avg <= 9.0
+
+    def test_deterministic_by_seed(self):
+        a = chung_lu_graph(200, 6.0, seed=7)
+        b = chung_lu_graph(200, 6.0, seed=7)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_different_seeds_differ(self):
+        a = chung_lu_graph(200, 6.0, seed=1)
+        b = chung_lu_graph(200, 6.0, seed=2)
+        assert not (
+            len(a.indices) == len(b.indices) and np.array_equal(a.indices, b.indices)
+        )
+
+    def test_degree_skew(self):
+        """Power-law: the max degree should dwarf the median degree."""
+        g = chung_lu_graph(2000, 10.0, exponent=2.1, seed=3)
+        degs = np.sort(g.degree())[::-1]
+        assert degs[0] > 8 * np.median(degs)
+
+    def test_no_self_loops_or_duplicates(self):
+        g = chung_lu_graph(300, 8.0, seed=4)
+        src, dst, _ = g.edges()
+        assert (src != dst).all()
+        keys = src.astype(np.int64) * g.num_vertices + dst
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            chung_lu_graph(1, 2.0)
+
+    def test_weights_in_paper_range(self):
+        g = chung_lu_graph(300, 8.0, seed=5)
+        assert g.weights.min() >= WEIGHT_RANGE[0]
+        assert g.weights.max() <= WEIGHT_RANGE[1]
+        # Integer-valued, per the paper's uniform [1, 2^18] scheme.
+        assert np.array_equal(g.weights, np.round(g.weights))
+
+
+class TestCategoryWrappers:
+    def test_social_graph_named(self):
+        g = social_graph(300, seed=1, name="soc")
+        assert g.name == "soc"
+        assert g.coords is None
+
+    def test_web_graph_more_skewed_than_social(self):
+        soc = social_graph(3000, avg_degree=12.0, seed=2)
+        web = web_graph(3000, avg_degree=12.0, seed=2)
+        # Lower exponent -> heavier tail -> larger max degree.
+        assert web.degree().max() > soc.degree().max()
+
+
+def test_uniform_random_weights_range_and_dtype():
+    rng = np.random.default_rng(0)
+    w = uniform_random_weights(10_000, rng)
+    assert w.dtype == np.float64
+    assert w.min() >= 1.0
+    assert w.max() <= 2.0**18
+    # Should actually use the range (probabilistically certain).
+    assert w.max() > 2.0**17

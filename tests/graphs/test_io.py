@@ -1,0 +1,88 @@
+"""Graph serialization round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_graph, road_graph
+from repro.graphs.io import (
+    load_npz,
+    read_dimacs,
+    read_edge_list,
+    save_npz,
+    write_dimacs,
+    write_edge_list,
+)
+
+
+@pytest.fixture
+def sample():
+    return build_graph([(0, 1, 1.5), (1, 2, 2.5), (0, 2, 4.0)], name="sample")
+
+
+class TestNpz:
+    def test_roundtrip_topology(self, sample, tmp_path):
+        p = tmp_path / "g.npz"
+        save_npz(p, sample)
+        g = load_npz(p)
+        assert g.num_vertices == sample.num_vertices
+        assert np.array_equal(g.indptr, sample.indptr)
+        assert np.array_equal(g.indices, sample.indices)
+        assert np.array_equal(g.weights, sample.weights)
+        assert g.name == "sample"
+        assert g.directed == sample.directed
+
+    def test_roundtrip_coords(self, tmp_path):
+        g0 = road_graph(5, 5, seed=1)
+        p = tmp_path / "road.npz"
+        save_npz(p, g0)
+        g = load_npz(p)
+        assert g.coord_system == "spherical"
+        assert np.allclose(g.coords, g0.coords)
+
+    def test_no_coords_loads_none(self, sample, tmp_path):
+        p = tmp_path / "g.npz"
+        save_npz(p, sample)
+        assert load_npz(p).coords is None
+
+
+class TestDimacs:
+    def test_roundtrip(self, sample, tmp_path):
+        p = tmp_path / "g.gr"
+        write_dimacs(p, sample)
+        g = read_dimacs(p, directed=True)
+        # Undirected sample wrote both arcs; reading directed keeps them.
+        assert g.num_edges == sample.num_edges
+        assert g.num_vertices == sample.num_vertices
+
+    def test_header_and_one_indexing(self, sample, tmp_path):
+        p = tmp_path / "g.gr"
+        write_dimacs(p, sample)
+        text = p.read_text().splitlines()
+        assert text[1] == "p sp 3 6"
+        assert all(line.split()[1] != "0" for line in text if line.startswith("a"))
+
+    def test_distances_preserved(self, sample, tmp_path):
+        from repro.baselines import dijkstra
+
+        p = tmp_path / "g.gr"
+        write_dimacs(p, sample)
+        g = read_dimacs(p, directed=True)
+        assert np.allclose(dijkstra(g, 0), dijkstra(sample, 0))
+
+
+class TestEdgeList:
+    def test_roundtrip(self, sample, tmp_path):
+        p = tmp_path / "g.txt"
+        write_edge_list(p, sample)
+        g = read_edge_list(p, directed=True)
+        assert g.num_edges == sample.num_edges
+        src0, dst0, w0 = sample.edges()
+        src1, dst1, w1 = g.edges()
+        assert np.array_equal(src0, src1)
+        assert np.allclose(w0, w1)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "empty.txt"
+        p.write_text("")
+        g = read_edge_list(p)
+        assert g.num_vertices == 0

@@ -1,0 +1,83 @@
+"""k-NN graph construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import knn_graph
+from repro.graphs.knn import clustered_points, skewed_points, uniform_points
+from repro.heuristics.geometric import euclidean_distance
+
+
+class TestKnnGraph:
+    def test_every_vertex_has_at_least_k_neighbors(self):
+        pts = uniform_points(200, 2, seed=1)
+        g = knn_graph(pts, k=5)
+        assert (g.degree() >= 5).all()
+
+    def test_weights_are_euclidean_distances(self):
+        pts = uniform_points(100, 2, seed=2)
+        g = knn_graph(pts, k=3)
+        src, dst, w = g.edges()
+        expect = euclidean_distance(pts[src], pts[dst])
+        assert np.allclose(w, expect)
+
+    def test_symmetric(self):
+        pts = uniform_points(150, 2, seed=3)
+        g = knn_graph(pts, k=4)
+        src, dst, _ = g.edges()
+        fwd = set(zip(src.tolist(), dst.tolist()))
+        assert all((b, a) in fwd for a, b in fwd)
+
+    def test_edges_connect_actual_near_neighbors(self):
+        pts = uniform_points(120, 2, seed=4)
+        g = knn_graph(pts, k=5)
+        # Vertex 0's neighbors must include its true nearest neighbor.
+        d = euclidean_distance(pts, pts[0][None, :])
+        d[0] = np.inf
+        nearest = int(np.argmin(d))
+        assert nearest in set(g.neighbors(0).tolist())
+
+    def test_coords_stored_for_astar(self):
+        pts = uniform_points(60, 3, seed=5)
+        g = knn_graph(pts, k=2)
+        assert g.coord_system == "euclidean"
+        assert g.coords.shape == (60, 3)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            knn_graph(uniform_points(4, 2, seed=0), k=5)
+
+    def test_coincident_points_allowed(self):
+        pts = np.zeros((10, 2))
+        pts[5:] = 1.0
+        g = knn_graph(pts, k=3)
+        assert g.weights.min() == 0.0  # zero-weight edges are legal
+
+
+class TestPointClouds:
+    def test_uniform_points_in_box(self):
+        pts = uniform_points(500, 2, seed=1, scale=10.0)
+        assert pts.shape == (500, 2)
+        assert pts.min() >= 0.0 and pts.max() <= 10.0
+
+    def test_clustered_points_cluster(self):
+        """Mean nearest-neighbor distance much smaller than uniform's."""
+        uni = uniform_points(800, 2, seed=2)
+        clu = clustered_points(800, 2, seed=2)
+        from scipy.spatial import cKDTree
+
+        def mean_nn(p):
+            d, _ = cKDTree(p).query(p, k=2)
+            return d[:, 1].mean()
+
+        assert mean_nn(clu) < 0.5 * mean_nn(uni)
+
+    def test_skewed_points_heavy_tail(self):
+        pts = skewed_points(2000, 2, seed=3)
+        r = np.linalg.norm(pts - pts.mean(axis=0), axis=1)
+        assert r.max() > 10 * np.median(r)
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            clustered_points(100, 2, seed=9), clustered_points(100, 2, seed=9)
+        )

@@ -1,0 +1,73 @@
+"""Road network generator tests, including heuristic admissibility."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import road_graph
+from repro.heuristics.geometric import spherical_distance
+
+
+class TestRoadGraph:
+    def test_shape(self):
+        g = road_graph(10, 12, seed=1)
+        assert g.num_vertices == 120
+        assert g.coord_system == "spherical"
+        assert g.coords.shape == (120, 2)
+
+    def test_weights_at_least_spherical_distance(self):
+        """Edge weight >= great-circle distance between its endpoints —
+        the property that makes the spherical heuristic admissible."""
+        g = road_graph(15, 15, seed=2)
+        src, dst, w = g.edges()
+        base = spherical_distance(g.coords[src], g.coords[dst])
+        assert (w >= base - 1e-9).all()
+
+    def test_max_detour_respected(self):
+        g = road_graph(15, 15, seed=3, max_detour=1.2)
+        src, dst, w = g.edges()
+        base = spherical_distance(g.coords[src], g.coords[dst])
+        assert (w <= base * 1.2 + 1e-9).all()
+
+    def test_coords_within_box(self):
+        g = road_graph(10, 10, seed=4, lon_range=(0.0, 5.0), lat_range=(0.0, 4.0))
+        lon, lat = g.coords[:, 0], g.coords[:, 1]
+        # Jitter is bounded by 30% of a cell.
+        assert lon.min() > -1.0 and lon.max() < 6.0
+        assert lat.min() > -1.0 and lat.max() < 5.0
+
+    def test_grid_mostly_connected(self):
+        from repro.graphs.connectivity import largest_component
+
+        g = road_graph(20, 20, seed=5)
+        assert len(largest_component(g)) > 0.9 * g.num_vertices
+
+    def test_drop_fraction_removes_edges(self):
+        dense = road_graph(20, 20, seed=6, drop_fraction=0.0, diagonal_fraction=0.0)
+        sparse = road_graph(20, 20, seed=6, drop_fraction=0.3, diagonal_fraction=0.0)
+        assert sparse.num_edges < dense.num_edges
+
+    def test_diagonals_add_edges(self):
+        none = road_graph(20, 20, seed=7, drop_fraction=0.0, diagonal_fraction=0.0)
+        some = road_graph(20, 20, seed=7, drop_fraction=0.0, diagonal_fraction=0.5)
+        assert some.num_edges > none.num_edges
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            road_graph(1, 5)
+        with pytest.raises(ValueError):
+            road_graph(5, 5, drop_fraction=0.9)
+        with pytest.raises(ValueError):
+            road_graph(5, 5, max_detour=0.5)
+
+    def test_deterministic(self):
+        a = road_graph(8, 8, seed=11)
+        b = road_graph(8, 8, seed=11)
+        assert np.array_equal(a.weights, b.weights)
+        assert np.array_equal(a.coords, b.coords)
+
+    def test_large_diameter(self):
+        """Road graphs are the large-diameter category of the suite."""
+        from repro.graphs.connectivity import approximate_diameter
+
+        g = road_graph(25, 25, seed=12)
+        assert approximate_diameter(g) >= 24

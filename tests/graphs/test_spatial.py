@@ -1,0 +1,97 @@
+"""Grid-based k-NN backend tests: cross-validated against the KD-tree."""
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.graphs.knn import clustered_points, knn_graph, skewed_points, uniform_points
+from repro.graphs.spatial import GridIndex, knn_graph_grid
+
+
+class TestGridIndex:
+    def test_query_matches_bruteforce(self):
+        pts = uniform_points(300, 2, seed=1)
+        idx = GridIndex(pts)
+        for i in (0, 50, 299):
+            nbrs, dists = idx.query(i, 5)
+            d = np.sqrt(((pts - pts[i]) ** 2).sum(axis=1))
+            d[i] = np.inf
+            want = np.sort(d)[:5]
+            assert np.allclose(np.sort(dists), want)
+
+    def test_query_3d(self):
+        pts = uniform_points(200, 3, seed=2)
+        idx = GridIndex(pts)
+        nbrs, dists = idx.query(7, 4)
+        d = np.sqrt(((pts - pts[7]) ** 2).sum(axis=1))
+        d[7] = np.inf
+        assert np.allclose(np.sort(dists), np.sort(d)[:4])
+
+    def test_never_returns_self(self):
+        pts = uniform_points(100, 2, seed=3)
+        idx = GridIndex(pts)
+        for i in range(0, 100, 17):
+            nbrs, _ = idx.query(i, 6)
+            assert i not in nbrs
+
+    def test_clustered_points(self):
+        pts = clustered_points(400, 2, seed=4)
+        idx = GridIndex(pts)
+        tree = cKDTree(pts)
+        for i in (3, 100, 399):
+            _, dists = idx.query(i, 5)
+            ref, _ = tree.query(pts[i], k=6)
+            assert np.allclose(np.sort(dists), ref[1:])
+
+    def test_high_dim_rejected(self):
+        with pytest.raises(ValueError, match="4 dimensions"):
+            GridIndex(np.zeros((10, 5)))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            GridIndex(np.zeros(10))
+
+
+class TestKnnGraphGrid:
+    @pytest.mark.parametrize("maker,dim", [
+        (uniform_points, 2),
+        (clustered_points, 2),
+        (skewed_points, 2),
+        (uniform_points, 3),
+    ])
+    def test_matches_kdtree_backend(self, maker, dim):
+        """Both backends must produce the identical k-NN graph."""
+        pts = maker(250, dim, seed=9)
+        a = knn_graph_grid(pts, k=5)
+        b = knn_graph(pts, k=5)
+        sa = set(map(tuple, np.column_stack(a.edges()[:2]).tolist()))
+        sb = set(map(tuple, np.column_stack(b.edges()[:2]).tolist()))
+        # Neighbor ties at equal distance may resolve differently; compare
+        # the distance multiset per vertex instead of identities.
+        assert a.num_vertices == b.num_vertices
+        for v in range(0, a.num_vertices, 13):
+            da = np.sort(a.neighbor_weights(v))
+            db = np.sort(b.neighbor_weights(v))
+            m = min(len(da), len(db))
+            assert np.allclose(da[:m], db[:m]), v
+        # And the vast majority of edges should be identical outright.
+        overlap = len(sa & sb) / max(len(sa | sb), 1)
+        assert overlap > 0.95
+
+    def test_shortest_paths_agree_across_backends(self):
+        from repro.baselines import dijkstra
+
+        pts = uniform_points(200, 2, seed=11)
+        a = knn_graph_grid(pts, k=5)
+        b = knn_graph(pts, k=5)
+        assert np.allclose(dijkstra(a, 0), dijkstra(b, 0))
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            knn_graph_grid(uniform_points(4, 2, seed=0), k=5)
+
+    def test_coords_attached(self):
+        pts = uniform_points(60, 2, seed=12)
+        g = knn_graph_grid(pts, k=3)
+        assert g.coord_system == "euclidean"
+        assert g.coords.shape == (60, 2)

@@ -1,0 +1,82 @@
+"""Graph validator tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, build_graph, road_graph, social_graph
+from repro.graphs.validate import assert_valid, validate_graph
+
+
+class TestCleanGraphs:
+    def test_generated_graphs_validate(self, small_road, small_knn, small_social):
+        for g in (small_road, small_knn, small_social):
+            assert validate_graph(g) == [], g.name
+
+    def test_directed_graph_validates(self):
+        g = build_graph([(0, 1, 1.0)], directed=True)
+        assert validate_graph(g) == []
+
+    def test_empty_graph(self):
+        assert validate_graph(build_graph([], num_vertices=3)) == []
+
+
+class TestViolations:
+    def _raw(self, indptr, indices, weights, **kw):
+        g = build_graph([(0, 1, 1.0)], num_vertices=2, **kw)
+        # Bypass constructor validation to simulate corrupt loads.
+        g.indptr = np.asarray(indptr, dtype=np.int64)
+        g.indices = np.asarray(indices, dtype=np.int32)
+        g.weights = np.asarray(weights, dtype=np.float64)
+        return g
+
+    def test_bad_indptr_start(self):
+        g = self._raw([1, 2, 2], [1, 0], [1.0, 1.0])
+        assert any("indptr[0]" in p for p in validate_graph(g))
+
+    def test_indptr_tail_mismatch(self):
+        g = self._raw([0, 1, 1], [1, 0], [1.0, 1.0])
+        assert any("indptr[-1]" in p for p in validate_graph(g))
+
+    def test_negative_weight(self):
+        g = self._raw([0, 1, 2], [1, 0], [1.0, -2.0])
+        assert any("negative" in p for p in validate_graph(g))
+
+    def test_nan_weight(self):
+        g = self._raw([0, 1, 2], [1, 0], [np.nan, 1.0])
+        assert any("non-finite edge weight" in p for p in validate_graph(g))
+
+    def test_endpoint_out_of_range(self):
+        g = self._raw([0, 1, 2], [5, 0], [1.0, 1.0])
+        assert any("out of [0, n)" in p for p in validate_graph(g))
+
+    def test_missing_reverse_arc(self):
+        g = self._raw([0, 1, 1], [1], [1.0])
+        g.directed = False
+        assert any("missing reverse arc" in p for p in validate_graph(g))
+
+    def test_asymmetric_weights(self):
+        g = self._raw([0, 1, 2], [1, 0], [1.0, 3.0])
+        assert any("asymmetric" in p for p in validate_graph(g))
+
+    def test_symmetry_not_required_for_directed_view(self):
+        g = self._raw([0, 1, 1], [1], [1.0])
+        g.directed = True
+        assert validate_graph(g) == []
+        # ... unless explicitly demanded.
+        assert validate_graph(g, require_symmetric=True) != []
+
+    def test_bad_spherical_coords(self):
+        g = build_graph(
+            [(0, 1, 1.0)],
+            coords=np.array([[0.0, 95.0], [0.0, 0.0]]),
+            coord_system="spherical",
+        )
+        assert any("lon/lat" in p for p in validate_graph(g))
+
+    def test_assert_valid_raises_with_details(self):
+        g = self._raw([0, 1, 2], [1, 0], [1.0, -2.0])
+        with pytest.raises(ValueError, match="negative"):
+            assert_valid(g)
+
+    def test_assert_valid_passes_clean(self, line_graph):
+        assert_valid(line_graph)

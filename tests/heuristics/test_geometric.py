@@ -1,0 +1,159 @@
+"""Geometric heuristic tests: distances, admissibility, memoization."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import knn_graph, road_graph
+from repro.graphs.knn import uniform_points
+from repro.heuristics.geometric import (
+    EARTH_RADIUS_KM,
+    MemoizedHeuristic,
+    PointHeuristic,
+    ZeroHeuristic,
+    euclidean_distance,
+    make_heuristic,
+    spherical_distance,
+)
+
+
+class TestDistanceFunctions:
+    def test_euclidean_basics(self):
+        a = np.array([[0.0, 0.0], [3.0, 4.0]])
+        b = np.array([[0.0, 0.0], [0.0, 0.0]])
+        assert np.allclose(euclidean_distance(a, b), [0.0, 5.0])
+
+    def test_euclidean_symmetry(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(2, 50, 3))
+        assert np.allclose(euclidean_distance(a, b), euclidean_distance(b, a))
+
+    def test_spherical_zero_for_same_point(self):
+        p = np.array([[10.0, 45.0]])
+        assert spherical_distance(p, p)[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_spherical_quarter_circumference(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[90.0, 0.0]])  # 90 degrees along the equator
+        want = np.pi / 2 * EARTH_RADIUS_KM
+        assert spherical_distance(a, b)[0] == pytest.approx(want, rel=1e-9)
+
+    def test_spherical_poles(self):
+        a = np.array([[0.0, 90.0]])
+        b = np.array([[123.0, -90.0]])
+        want = np.pi * EARTH_RADIUS_KM
+        assert spherical_distance(a, b)[0] == pytest.approx(want, rel=1e-9)
+
+    def test_spherical_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = np.column_stack([rng.uniform(-180, 180, 40), rng.uniform(-89, 89, 40)])
+        b = np.column_stack([rng.uniform(-180, 180, 40), rng.uniform(-89, 89, 40)])
+        assert np.allclose(spherical_distance(a, b), spherical_distance(b, a))
+
+    def test_spherical_triangle_inequality(self):
+        rng = np.random.default_rng(2)
+        pts = np.column_stack([rng.uniform(-180, 180, 30), rng.uniform(-89, 89, 30)])
+        a, b, c = pts[:10], pts[10:20], pts[20:]
+        ab = spherical_distance(a, b)
+        bc = spherical_distance(b, c)
+        ac = spherical_distance(a, c)
+        assert (ac <= ab + bc + 1e-6).all()
+
+
+class TestPointHeuristic:
+    def test_zero_at_target(self, small_road):
+        h = PointHeuristic(small_road.coords, 7, "spherical")
+        assert h(np.array([7]))[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_counts_calls(self, small_road):
+        h = PointHeuristic(small_road.coords, 0, "spherical")
+        h(np.arange(5))
+        h(np.arange(3))
+        assert h.calls == 8
+        assert h.evaluated == 8
+        h.reset_counters()
+        assert h.calls == 0
+
+    def test_unknown_metric_rejected(self, small_road):
+        with pytest.raises(ValueError):
+            PointHeuristic(small_road.coords, 0, "manhattan")
+
+    def test_admissible_on_road(self, small_road):
+        """h(v) <= d(v, t): the property A* correctness rests on."""
+        from repro.baselines import dijkstra
+
+        t = 100
+        h = PointHeuristic(small_road.coords, t, "spherical")
+        d = dijkstra(small_road, t)  # undirected: d(v,t) == d(t,v)
+        hv = h(np.arange(small_road.num_vertices))
+        finite = np.isfinite(d)
+        assert (hv[finite] <= d[finite] + 1e-6).all()
+
+    def test_consistent_on_knn(self, small_knn):
+        """h(u) <= w(u,v) + h(v) over every edge."""
+        t = 42
+        h = PointHeuristic(small_knn.coords, t, "euclidean")
+        src, dst, w = small_knn.edges()
+        hu = h(src)
+        hv = h(dst)
+        assert (hu <= w + hv + 1e-9).all()
+
+    def test_consistent_on_road(self, small_road):
+        t = 3
+        h = PointHeuristic(small_road.coords, t, "spherical")
+        src, dst, w = small_road.edges()
+        assert (h(src) <= w + h(dst) + 1e-9).all()
+
+
+class TestMemoizedHeuristic:
+    def test_same_values_as_inner(self, small_knn):
+        inner = PointHeuristic(small_knn.coords, 9, "euclidean")
+        memo = MemoizedHeuristic(PointHeuristic(small_knn.coords, 9, "euclidean"), small_knn.num_vertices)
+        v = np.arange(0, 200, 3)
+        assert np.allclose(memo(v), inner(v))
+
+    def test_evaluates_each_vertex_once(self, small_knn):
+        memo = MemoizedHeuristic(
+            PointHeuristic(small_knn.coords, 9, "euclidean"), small_knn.num_vertices
+        )
+        memo(np.array([1, 2, 3]))
+        memo(np.array([2, 3, 4]))
+        memo(np.array([1, 4]))
+        assert memo.calls == 8
+        assert memo.evaluated == 4
+
+    def test_zero_value_cached(self):
+        """A legitimate h == 0 (e.g. at the target) must not recompute."""
+        coords = np.zeros((3, 2))
+        inner = PointHeuristic(coords, 0, "euclidean")
+        memo = MemoizedHeuristic(inner, 3)
+        memo(np.array([0]))
+        memo(np.array([0]))
+        assert memo.evaluated == 1
+
+    def test_repeated_ids_within_one_call(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0]])
+        memo = MemoizedHeuristic(PointHeuristic(coords, 0, "euclidean"), 2)
+        vals = memo(np.array([1, 1, 1]))
+        assert np.allclose(vals, 1.0)
+
+
+class TestMakeHeuristic:
+    def test_spherical_for_road(self, small_road):
+        h = make_heuristic(small_road, 5)
+        assert isinstance(h, MemoizedHeuristic)
+        assert h.inner.metric == "spherical"
+
+    def test_euclidean_for_knn(self, small_knn):
+        h = make_heuristic(small_knn, 5, memoize=False)
+        assert isinstance(h, PointHeuristic)
+        assert h.metric == "euclidean"
+
+    def test_no_coords_raises(self, small_social):
+        with pytest.raises(ValueError, match="no coordinates"):
+            make_heuristic(small_social, 0)
+
+
+def test_zero_heuristic():
+    z = ZeroHeuristic()
+    assert np.allclose(z(np.arange(4)), 0.0)
+    assert z.calls == 4

@@ -1,0 +1,123 @@
+"""Work/depth meter and Brent-bound simulated-time tests."""
+
+import math
+
+import pytest
+
+from repro.parallel.cost_model import WorkDepthMeter, simulated_time, speedup_curve
+
+
+class TestWorkDepthMeter:
+    def test_record_accumulates(self):
+        m = WorkDepthMeter()
+        m.record_step(100)
+        m.record_step(50)
+        assert m.work == 150
+        assert m.steps == 2
+        assert m.step_work == [100, 50]
+
+    def test_default_span_is_log(self):
+        m = WorkDepthMeter()
+        m.record_step(1024)
+        assert m.depth == pytest.approx(1 + 10)
+
+    def test_explicit_span(self):
+        m = WorkDepthMeter()
+        m.record_step(100, span=3.0)
+        assert m.depth == 3.0
+
+    def test_zero_work_clamped_to_one(self):
+        m = WorkDepthMeter()
+        m.record_step(0)
+        assert m.work == 1.0
+
+    def test_merge_sequential(self):
+        a, b = WorkDepthMeter(), WorkDepthMeter()
+        a.record_step(10)
+        b.record_step(20)
+        b.record_step(30)
+        a.merge(b)
+        assert a.work == 60
+        assert a.steps == 3
+        assert a.step_work == [10, 20, 30]
+
+    def test_merge_parallel_overlaps(self):
+        metered = []
+        for w in ([10, 10], [40]):
+            m = WorkDepthMeter()
+            for x in w:
+                m.record_step(x)
+            metered.append(m)
+        combined = WorkDepthMeter()
+        combined.merge_parallel(metered)
+        assert combined.work == 60
+        # Steps zip: [10+40, 10]
+        assert combined.step_work == [50, 10]
+        assert combined.depth == max(m.depth for m in metered)
+
+    def test_merge_parallel_empty(self):
+        m = WorkDepthMeter()
+        m.merge_parallel([])
+        assert m.work == 0
+
+
+class TestSimulatedTime:
+    def test_single_processor_is_work_plus_sync(self):
+        m = WorkDepthMeter()
+        m.record_step(64)
+        t1 = m.simulated_time(1)
+        assert t1 == pytest.approx(64 + (1 + 6))
+
+    def test_more_processors_never_slower(self):
+        m = WorkDepthMeter()
+        for w in (100, 2000, 5, 800):
+            m.record_step(w)
+        times = [m.simulated_time(p) for p in (1, 2, 4, 8, 64)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_brent_bound(self):
+        """T_P <= W/P + c*D and T_P >= max(W/P, sync*D)."""
+        m = WorkDepthMeter()
+        for w in (100, 350, 7):
+            m.record_step(w)
+        for p in (1, 3, 16):
+            tp = m.simulated_time(p)
+            assert tp <= m.work / p + m.depth + 1e-9
+            assert tp >= m.work / p
+            assert tp >= m.depth
+
+    def test_speedup_saturates_at_depth(self):
+        """With fixed depth, speedup can't exceed W/(sync*D)."""
+        m = WorkDepthMeter()
+        m.record_step(10_000)
+        limit = m.work / m.depth
+        assert m.speedup(10**6) <= limit + 1
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            simulated_time([10], 0)
+
+    def test_sync_cost_scales_overhead(self):
+        m = WorkDepthMeter()
+        m.record_step(100)
+        assert m.simulated_time(4, sync_cost=10.0) > m.simulated_time(4, sync_cost=1.0)
+
+
+class TestSpeedupCurve:
+    def test_monotone_nondecreasing(self):
+        m = WorkDepthMeter()
+        for w in (500, 1000, 250):
+            m.record_step(w)
+        curve = speedup_curve(m, [1, 2, 4, 8])
+        vals = [curve[p] for p in (1, 2, 4, 8)]
+        assert vals[0] == pytest.approx(1.0)
+        assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+
+    def test_work_rich_scales_better(self):
+        """More work per step at equal steps -> better speedup: the
+        paper's 'plain algorithms scale better' effect."""
+        plain, pruned = WorkDepthMeter(), WorkDepthMeter()
+        for _ in range(20):
+            plain.record_step(10_000)
+            pruned.record_step(100)
+        assert plain.speedup(96) > pruned.speedup(96)

@@ -1,0 +1,64 @@
+"""Fork-join DAG simulator tests: greedy schedules obey Brent's bound."""
+
+import pytest
+
+from repro.parallel.forkjoin import ForkJoinSimulator, Task, fork, leaf, parallel_for_task
+
+
+class TestTaskAlgebra:
+    def test_leaf_work_and_span(self):
+        t = leaf(3.0)
+        assert t.work() == 3.0
+        assert t.span() == 3.0
+
+    def test_fork_work_adds_span_maxes(self):
+        t = fork(leaf(2.0), leaf(5.0), cost=1.0)
+        assert t.work() == 8.0
+        assert t.span() == 6.0
+
+    def test_parallel_for_work(self):
+        t = parallel_for_task(16, unit_cost=2.0)
+        assert t.work() == 32.0
+        assert t.span() == 2.0  # zero fork cost: span = one leaf
+
+    def test_parallel_for_span_with_fork_cost(self):
+        t = parallel_for_task(16, unit_cost=1.0, fork_cost=1.0)
+        # Balanced binary tree of depth 4 over 16 leaves.
+        assert t.span() == pytest.approx(5.0)
+
+    def test_empty_parallel_for(self):
+        assert parallel_for_task(0).work() == 0.0
+
+
+class TestSimulator:
+    def test_single_processor_runs_all_work(self):
+        t = parallel_for_task(10, unit_cost=1.0)
+        assert ForkJoinSimulator(1).run(t) == pytest.approx(t.work())
+
+    def test_infinite_processors_run_span(self):
+        t = fork(fork(leaf(1.0), leaf(4.0)), leaf(2.0), cost=1.0)
+        assert ForkJoinSimulator(64).run(t) == pytest.approx(t.span())
+
+    def test_brent_bound_holds(self):
+        t = parallel_for_task(37, unit_cost=1.0, fork_cost=0.5)
+        w, d = t.work(), t.span()
+        for p in (1, 2, 3, 8):
+            tp = ForkJoinSimulator(p).run(t)
+            assert tp <= w / p + d + 1e-9
+            assert tp >= max(w / p, d) - 1e-9
+
+    def test_speedup_with_two_processors(self):
+        t = fork(leaf(10.0), leaf(10.0))
+        assert ForkJoinSimulator(2).run(t) == pytest.approx(10.0)
+        assert ForkJoinSimulator(1).run(t) == pytest.approx(20.0)
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            ForkJoinSimulator(0)
+
+    def test_unbalanced_dag(self):
+        # A deep spine with one heavy leaf each level.
+        t = leaf(1.0)
+        for _ in range(5):
+            t = fork(t, leaf(1.0), cost=0.0)
+        assert ForkJoinSimulator(2).run(t) >= t.span()

@@ -1,0 +1,86 @@
+"""Data-parallel primitive tests."""
+
+import numpy as np
+
+from repro.parallel.primitives import dedup, exclusive_scan, expand_ranges, pack, write_min
+
+
+class TestWriteMin:
+    def test_lowers_values(self):
+        vals = np.array([5.0, 5.0, 5.0])
+        ok = write_min(vals, np.array([0, 2]), np.array([3.0, 7.0]))
+        assert list(vals) == [3.0, 5.0, 5.0]
+        assert list(ok) == [True, False]
+
+    def test_duplicate_indices_take_min(self):
+        vals = np.array([10.0])
+        ok = write_min(vals, np.array([0, 0, 0]), np.array([7.0, 3.0, 9.0]))
+        assert vals[0] == 3.0
+        # All three were below the pre-batch value 10.
+        assert list(ok) == [True, True, True]
+
+    def test_equal_value_not_success(self):
+        vals = np.array([4.0])
+        ok = write_min(vals, np.array([0]), np.array([4.0]))
+        assert not ok[0]
+
+    def test_empty_batch(self):
+        vals = np.array([1.0])
+        ok = write_min(vals, np.array([], dtype=int), np.array([]))
+        assert len(ok) == 0
+
+
+class TestPackDedup:
+    def test_pack(self):
+        a = np.array([1, 2, 3, 4])
+        assert list(pack(a, np.array([True, False, True, False]))) == [1, 3]
+
+    def test_dedup(self):
+        assert list(dedup(np.array([3, 1, 3, 2, 1]))) == [1, 2, 3]
+
+
+class TestExclusiveScan:
+    def test_basic(self):
+        scan, total = exclusive_scan(np.array([2, 3, 4]))
+        assert list(scan) == [0, 2, 5]
+        assert total == 9
+
+    def test_empty(self):
+        scan, total = exclusive_scan(np.array([], dtype=int))
+        assert len(scan) == 0 and total == 0
+
+
+class TestExpandRanges:
+    def test_basic(self):
+        got = expand_ranges(np.array([10, 20]), np.array([3, 2]))
+        assert list(got) == [10, 11, 12, 20, 21]
+
+    def test_zero_counts_skipped(self):
+        got = expand_ranges(np.array([5, 9, 100]), np.array([2, 0, 1]))
+        assert list(got) == [5, 6, 100]
+
+    def test_all_zero(self):
+        assert len(expand_ranges(np.array([1, 2]), np.array([0, 0]))) == 0
+
+    def test_empty(self):
+        assert len(expand_ranges(np.array([], dtype=int), np.array([], dtype=int))) == 0
+
+    def test_overlapping_ranges_allowed(self):
+        got = expand_ranges(np.array([0, 1]), np.array([3, 2]))
+        assert list(got) == [0, 1, 2, 1, 2]
+
+    def test_matches_naive_random(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            k = rng.integers(1, 30)
+            starts = rng.integers(0, 1000, size=k)
+            counts = rng.integers(0, 8, size=k)
+            want = np.concatenate(
+                [np.arange(s, s + c) for s, c in zip(starts, counts)]
+            ) if counts.sum() else np.empty(0, dtype=np.int64)
+            got = expand_ranges(starts, counts)
+            assert np.array_equal(got, want)
+
+    def test_single_big_range(self):
+        got = expand_ranges(np.array([7]), np.array([1000]))
+        assert got[0] == 7 and got[-1] == 1006 and len(got) == 1000

@@ -1,0 +1,109 @@
+"""Public API facade tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import dijkstra
+
+
+class TestPpsp:
+    @pytest.mark.parametrize("method", repro.PPSP_METHODS)
+    def test_every_method_exact(self, method, small_road):
+        s, t = 0, 100
+        ref = dijkstra(small_road, s)[t]
+        ans = repro.ppsp(small_road, s, t, method=method)
+        assert ans.distance == pytest.approx(ref)
+        assert ans.source == s and ans.target == t
+        assert ans.method == method
+        assert ans.reachable
+
+    @pytest.mark.parametrize("method", repro.PPSP_METHODS)
+    def test_every_method_yields_valid_path(self, method, small_road):
+        s, t = 3, 99
+        ans = repro.ppsp(small_road, s, t, method=method)
+        p = ans.path()
+        assert p[0] == s and p[-1] == t
+        total = 0.0
+        for u, v in zip(p[:-1], p[1:]):
+            nbrs = small_road.neighbors(u)
+            hit = np.flatnonzero(nbrs == v)
+            assert len(hit)
+            total += small_road.neighbor_weights(u)[hit].min()
+        assert total == pytest.approx(ans.distance)
+
+    def test_trivial_path(self, small_road):
+        ans = repro.ppsp(small_road, 5, 5, method="bids")
+        assert ans.distance == 0.0
+        assert ans.path() == [5]
+
+    def test_unreachable(self, disconnected_graph):
+        ans = repro.ppsp(disconnected_graph, 0, 4, method="bids")
+        assert not ans.reachable
+        assert np.isinf(ans.distance)
+
+    def test_unknown_method(self, line_graph):
+        with pytest.raises(ValueError, match="unknown method"):
+            repro.ppsp(line_graph, 0, 1, method="warp")
+
+    def test_run_stats_exposed(self, small_road):
+        ans = repro.ppsp(small_road, 0, 50, method="bids")
+        assert ans.run.steps > 0
+        assert ans.run.meter.work > 0
+
+    def test_memoize_flag(self, small_road):
+        a = repro.ppsp(small_road, 0, 100, method="astar", memoize=False)
+        b = repro.ppsp(small_road, 0, 100, method="astar", memoize=True)
+        assert a.distance == pytest.approx(b.distance)
+        ha, hb = a.run.policy.heuristic, b.run.policy.heuristic
+        assert ha.evaluated == ha.calls
+        assert hb.evaluated < hb.calls
+
+    def test_engine_kwargs_passthrough(self, small_road):
+        ans = repro.ppsp(small_road, 0, 20, method="et", frontier_mode="dense", pull_relax=True)
+        assert ans.distance == pytest.approx(dijkstra(small_road, 0)[20])
+
+
+class TestBatchApi:
+    def test_pairs_input(self, small_road):
+        res = repro.batch_ppsp(small_road, [(0, 10), (10, 20)])
+        ref = dijkstra(small_road, 0)[10]
+        assert res.distance(0, 10) == pytest.approx(ref)
+
+    def test_query_graph_input(self, small_road):
+        qg = repro.QueryGraph.star(0, [5, 9])
+        res = repro.batch_ppsp(small_road, qg, method="sssp-vc")
+        assert len(res.distances) == 2
+
+    def test_version_string(self):
+        assert repro.__version__
+
+
+class TestPublicSurface:
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_subpackage_exports(self):
+        for pkg in (repro.core, repro.graphs, repro.parallel, repro.analysis, repro.baselines, repro.heuristics):
+            for name in pkg.__all__:
+                assert getattr(pkg, name) is not None, f"{pkg.__name__}.{name}"
+
+
+class TestApiTracing:
+    def test_trace_flows_through_ppsp(self, small_road):
+        from repro.core.tracing import StepTrace
+
+        tr = StepTrace()
+        ans = repro.ppsp(small_road, 0, 70, method="bids", trace=tr)
+        assert len(tr) == ans.run.steps
+        assert tr.records[-1].mu == pytest.approx(ans.distance)
+
+    def test_trace_flows_through_batch(self, small_road):
+        # Batch solvers accept engine kwargs too.
+        from repro.core.tracing import StepTrace
+
+        tr = StepTrace()
+        res = repro.batch_ppsp(small_road, [(0, 9)], method="multi", trace=tr)
+        assert len(tr) > 0
+        assert res.distance(0, 9) > 0

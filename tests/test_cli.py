@@ -1,0 +1,131 @@
+"""Command-line interface tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs.io import load_npz, save_npz
+
+
+@pytest.fixture
+def road_file(small_road, tmp_path):
+    p = tmp_path / "road.npz"
+    save_npz(p, small_road)
+    return str(p)
+
+
+class TestGenerate:
+    @pytest.mark.parametrize(
+        "kind", ["social", "web", "road", "knn-uniform", "knn-clustered", "knn-skewed"]
+    )
+    def test_all_kinds(self, kind, tmp_path, capsys):
+        out = tmp_path / f"{kind}.npz"
+        rc = main(["generate", "--kind", kind, "--n", "300", "--output", str(out)])
+        assert rc == 0
+        g = load_npz(out)
+        assert g.num_vertices >= 289  # road rounds to a square
+        assert g.name == kind
+
+
+class TestQuery:
+    def test_json_output(self, road_file, capsys):
+        rc = main(["query", "--graph", road_file, "--source", "0", "--target", "77"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "bids"
+        assert payload["reachable"] is True
+        assert payload["distance"] > 0
+
+    def test_method_and_path(self, road_file, capsys):
+        rc = main([
+            "query", "--graph", road_file, "--source", "0", "--target", "50",
+            "--method", "bidastar", "--path",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["path"][0] == 0 and payload["path"][-1] == 50
+
+    def test_matches_library(self, road_file, small_road, capsys):
+        from repro.baselines import dijkstra
+
+        main(["query", "--graph", road_file, "--source", "3", "--target", "99"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["distance"] == pytest.approx(dijkstra(small_road, 3)[99])
+
+
+class TestBatch:
+    def test_inline_pairs(self, road_file, capsys):
+        rc = main(["batch", "--graph", road_file, "0", "50", "50", "100"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["distances"]) == {"0->50", "50->100"}
+
+    def test_pairs_file(self, road_file, tmp_path, capsys):
+        pf = tmp_path / "pairs.txt"
+        pf.write_text("0 10\n20 30\n")
+        rc = main(["batch", "--graph", road_file, "--pairs-file", str(pf),
+                   "--method", "sssp-vc"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "sssp-vc"
+        assert len(payload["distances"]) == 2
+
+    def test_odd_pairs_rejected(self, road_file):
+        with pytest.raises(SystemExit):
+            main(["batch", "--graph", road_file, "0", "1", "2"])
+
+
+class TestInfo:
+    def test_statistics(self, road_file, capsys):
+        rc = main(["info", "--graph", road_file])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n"] == 144
+        assert payload["coord_system"] == "spherical"
+        assert payload["lcc_percent"] > 50
+
+
+class TestFormats:
+    def test_query_on_dimacs(self, small_road, tmp_path, capsys):
+        from repro.graphs.io import write_dimacs
+
+        p = tmp_path / "g.gr"
+        write_dimacs(p, small_road)
+        rc = main(["query", "--graph", str(p), "--source", "0", "--target", "10"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reachable"]
+
+
+class TestInfoValidation:
+    def test_clean_graph_reports_no_problems(self, road_file, capsys):
+        rc = main(["info", "--graph", road_file])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["problems"] == []
+
+    def test_corrupt_graph_flagged(self, small_road, tmp_path, capsys):
+        import numpy as np
+
+        bad = small_road.with_weights(small_road.weights.copy())
+        bad.weights[0] = np.nan  # corrupt after construction
+        p = tmp_path / "bad.npz"
+        save_npz(p, bad)
+        rc = main(["info", "--graph", str(p)])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert any("non-finite" in prob for prob in payload["problems"])
+
+
+class TestQueryTrace:
+    def test_trace_summary_in_json(self, road_file, capsys):
+        rc = main(["query", "--graph", road_file, "--source", "0",
+                   "--target", "70", "--method", "bids", "--trace"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["trace_summary"]["steps"] > 0
+        # The step table goes to stderr, keeping stdout valid JSON.
+        assert "theta" in captured.err

@@ -1,0 +1,134 @@
+"""End-to-end integration tests across subsystems.
+
+Each test exercises a realistic pipeline: generate a graph, pick queries
+by percentile, run several algorithms, cross-check answers and the
+performance invariants the paper's evaluation rests on.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.percentiles import sample_query_pairs, target_at_percentile
+from repro.baselines import dijkstra, graphit_ppsp, mbq_ppsp
+from repro.core.query_graph import PATTERNS
+from repro.graphs import road_graph, social_graph
+from repro.graphs.connectivity import largest_component
+from repro.parallel.cost_model import speedup_curve
+
+
+@pytest.fixture(scope="module")
+def road():
+    return road_graph(35, 35, seed=77, name="it-road")
+
+
+@pytest.fixture(scope="module")
+def social():
+    return social_graph(1500, avg_degree=10, seed=78, name="it-social")
+
+
+class TestCrossImplementationAgreement:
+    """Ours, GraphIt-style, MBQ-style, and Dijkstra all agree."""
+
+    def test_road_graph_all_nine_methods(self, road):
+        pairs = sample_query_pairs(road, 50.0, num_pairs=2, seed=1)
+        for s, t in pairs:
+            ref = dijkstra(road, s)[t]
+            for m in repro.PPSP_METHODS:
+                assert repro.ppsp(road, s, t, method=m).distance == pytest.approx(ref)
+            assert graphit_ppsp(road, s, t, delta=50.0) == pytest.approx(ref)
+            assert graphit_ppsp(road, s, t, delta=50.0, use_astar=True) == pytest.approx(ref)
+            assert mbq_ppsp(road, s, t) == pytest.approx(ref)
+            assert mbq_ppsp(road, s, t, use_astar=True) == pytest.approx(ref)
+
+    def test_social_graph_methods(self, social):
+        pairs = sample_query_pairs(social, 50.0, num_pairs=2, seed=2)
+        for s, t in pairs:
+            ref = dijkstra(social, s)[t]
+            for m in ("sssp", "et", "bids"):
+                assert repro.ppsp(social, s, t, method=m).distance == pytest.approx(ref)
+
+
+class TestPaperShapeInvariants:
+    """Coarse versions of the evaluation's qualitative claims."""
+
+    def test_pruning_reduces_work_at_close_percentiles(self, road):
+        """Tab. 4, 1st percentile: ET and BiDS beat SSSP by a lot."""
+        rng = np.random.default_rng(3)
+        s = int(rng.choice(largest_component(road)))
+        t = target_at_percentile(road, s, 1.0)
+        sssp_work = repro.ppsp(road, s, t, method="sssp").run.relaxations
+        et_work = repro.ppsp(road, s, t, method="et").run.relaxations
+        bids_work = repro.ppsp(road, s, t, method="bids").run.relaxations
+        assert et_work < 0.5 * sssp_work
+        assert bids_work < 0.5 * sssp_work
+
+    def test_bidastar_prunes_most_at_mid_percentile(self, road):
+        rng = np.random.default_rng(4)
+        s = int(rng.choice(largest_component(road)))
+        t = target_at_percentile(road, s, 50.0)
+        work = {
+            m: repro.ppsp(road, s, t, method=m).run.relaxations
+            for m in ("sssp", "et", "bids", "bidastar")
+        }
+        assert work["bidastar"] < work["et"] < work["sssp"]
+        assert work["bids"] < work["et"]
+
+    def test_far_queries_erode_the_advantage(self, road):
+        """Fig. 4: the ET/SSSP work ratio grows toward 1 with distance."""
+        rng = np.random.default_rng(5)
+        s = int(rng.choice(largest_component(road)))
+        ratios = []
+        for p in (1.0, 50.0, 99.0):
+            t = target_at_percentile(road, s, p)
+            et = repro.ppsp(road, s, t, method="et").run.relaxations
+            ss = repro.ppsp(road, s, t, method="sssp").run.relaxations
+            ratios.append(et / ss)
+        assert ratios[0] < ratios[1] < ratios[2] * 1.01
+
+    def test_simulated_scalability_ordering(self, road):
+        """Fig. 5: plain SSSP scales at least as well as pruned BiDS."""
+        rng = np.random.default_rng(6)
+        s = int(rng.choice(largest_component(road)))
+        t = target_at_percentile(road, s, 50.0)
+        sssp_curve = speedup_curve(repro.ppsp(road, s, t, method="sssp").run.meter, [96])
+        bids_curve = speedup_curve(repro.ppsp(road, s, t, method="bids").run.meter, [96])
+        assert sssp_curve[96] >= bids_curve[96] * 0.9
+
+    def test_batch_multi_never_catastrophic(self, road):
+        """Fig. 7: Multi-BiDS stays near the per-pattern best in work."""
+        rng = np.random.default_rng(7)
+        verts = rng.choice(largest_component(road), size=6, replace=False).tolist()
+        for pattern, make in PATTERNS.items():
+            qg = make(verts)
+            works = {}
+            for method in ("multi", "plain-bids", "sssp-vc", "sssp-plain"):
+                works[method] = repro.batch_ppsp(road, qg, method=method).meter.work
+            assert works["multi"] <= 2.5 * min(works.values()), pattern
+
+    def test_vc_never_more_searches_than_plain(self, road):
+        rng = np.random.default_rng(8)
+        verts = rng.choice(largest_component(road), size=6, replace=False).tolist()
+        for pattern, make in PATTERNS.items():
+            qg = make(verts)
+            vc = repro.batch_ppsp(road, qg, method="sssp-vc")
+            plain = repro.batch_ppsp(road, qg, method="sssp-plain")
+            assert vc.num_searches <= plain.num_searches, pattern
+
+
+class TestRoundtrips:
+    def test_save_load_query_same_answers(self, road, tmp_path):
+        from repro.graphs.io import load_npz, save_npz
+
+        p = tmp_path / "road.npz"
+        save_npz(p, road)
+        g2 = load_npz(p)
+        assert repro.ppsp(g2, 0, 400, method="bidastar").distance == pytest.approx(
+            repro.ppsp(road, 0, 400, method="bidastar").distance
+        )
+
+    def test_percentile_pipeline(self, social):
+        pairs = sample_query_pairs(social, 25.0, num_pairs=3, seed=10)
+        res = repro.batch_ppsp(social, pairs, method="multi")
+        for (s, t), d in res.distances.items():
+            assert d == pytest.approx(dijkstra(social, s)[t])

@@ -1,0 +1,58 @@
+"""Package-level hygiene: docs, exports, and import side effects."""
+
+import importlib
+import pkgutil
+import subprocess
+import sys
+
+import repro
+
+
+def _walk():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+class TestHygiene:
+    def test_every_module_has_a_docstring(self):
+        missing = [m.__name__ for m in _walk() if not (m.__doc__ or "").strip()]
+        assert missing == []
+
+    def test_every_all_export_resolves(self):
+        broken = [
+            f"{m.__name__}.{name}"
+            for m in _walk()
+            for name in getattr(m, "__all__", [])
+            if not hasattr(m, name)
+        ]
+        assert broken == []
+
+    def test_import_has_no_side_effects(self):
+        """Importing the package must not run the CLI, print, or write."""
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             "import repro, repro.__main__, repro.cli; print('SENTINEL')"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "SENTINEL"
+
+    def test_version_consistent_with_pyproject(self):
+        import pathlib
+        import tomllib
+
+        root = pathlib.Path(repro.__file__).resolve().parents[2]
+        meta = tomllib.loads((root / "pyproject.toml").read_text())
+        assert meta["project"]["version"] == repro.__version__
+
+    def test_no_wildcard_imports(self):
+        import pathlib
+
+        src = pathlib.Path(repro.__file__).resolve().parent
+        offenders = [
+            str(p) for p in src.rglob("*.py") if "import *" in p.read_text()
+        ]
+        assert offenders == []

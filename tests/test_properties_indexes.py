@@ -1,0 +1,113 @@
+"""Property-based tests for the index baselines (CH, PLL) and PnP.
+
+Same style as tests/test_properties.py: random graphs from hypothesis,
+every implementation must agree with sequential Dijkstra exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    ContractionHierarchy,
+    PrunedLandmarkLabeling,
+    dijkstra,
+)
+from repro.baselines.pnp import pnp_ppsp
+from repro.graphs import from_edges
+
+COMMON = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_graphs(draw, max_n=16, max_m=48):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=1, max_value=max_m))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    w = draw(st.lists(st.floats(0.0, 50.0, allow_nan=False), min_size=m, max_size=m))
+    return from_edges(src, dst, np.asarray(w), num_vertices=n, dedupe=True)
+
+
+def _check_pair(got: float, ref: float) -> None:
+    if np.isinf(ref):
+        assert np.isinf(got)
+    else:
+        assert got == pytest.approx(ref)
+
+
+@settings(**COMMON)
+@given(small_graphs(), st.data())
+def test_ch_matches_dijkstra(g, data):
+    ch = ContractionHierarchy(g)
+    for _ in range(3):
+        s = data.draw(st.integers(0, g.num_vertices - 1))
+        t = data.draw(st.integers(0, g.num_vertices - 1))
+        _check_pair(ch.query(s, t), dijkstra(g, s)[t])
+
+
+@settings(**COMMON)
+@given(small_graphs(), st.data())
+def test_ch_with_tight_budgets_matches_dijkstra(g, data):
+    """Witness-budget exhaustion must never change answers."""
+    ch = ContractionHierarchy(g, hop_limit=1, settle_limit=1)
+    s = data.draw(st.integers(0, g.num_vertices - 1))
+    t = data.draw(st.integers(0, g.num_vertices - 1))
+    _check_pair(ch.query(s, t), dijkstra(g, s)[t])
+
+
+@settings(**COMMON)
+@given(small_graphs(), st.data())
+def test_pll_matches_dijkstra(g, data):
+    pll = PrunedLandmarkLabeling(g)
+    for _ in range(3):
+        s = data.draw(st.integers(0, g.num_vertices - 1))
+        t = data.draw(st.integers(0, g.num_vertices - 1))
+        _check_pair(pll.query(s, t), dijkstra(g, s)[t])
+
+
+@settings(**COMMON)
+@given(small_graphs())
+def test_pll_labels_are_valid_distances(g):
+    """Every stored label (hub, d) must satisfy d == d(hub, v): labels
+    are exact distances, not bounds."""
+    pll = PrunedLandmarkLabeling(g)
+    # Recover hub rank -> vertex mapping by checking self-labels.
+    order = np.argsort(-g.degree())
+    for v in range(g.num_vertices):
+        for r, d in zip(pll._hubs[v], pll._dists[v]):
+            hub = int(order[r])
+            assert d == pytest.approx(dijkstra(g, hub)[v])
+
+
+@settings(**COMMON)
+@given(small_graphs(), st.data())
+def test_pnp_matches_dijkstra(g, data):
+    s = data.draw(st.integers(0, g.num_vertices - 1))
+    t = data.draw(st.integers(0, g.num_vertices - 1))
+    _check_pair(pnp_ppsp(g, s, t), dijkstra(g, s)[t])
+
+
+@settings(**COMMON)
+@given(small_graphs(), st.data())
+def test_landmark_heuristic_consistent_on_random_graphs(g, data):
+    """ALT bounds are consistent on arbitrary undirected graphs."""
+    from repro.heuristics.landmarks import LandmarkSet
+
+    k = data.draw(st.integers(1, 4))
+    ls = LandmarkSet(g, k=k, method="random", seed=data.draw(st.integers(0, 100)))
+    t = data.draw(st.integers(0, g.num_vertices - 1))
+    h = ls.heuristic_to(t)
+    src, dst, w = g.edges()
+    if len(src):
+        assert (h(src) <= w + h(dst) + 1e-6).all()
+    # Admissibility against true distances.
+    d = dijkstra(g, t)
+    hv = h(np.arange(g.num_vertices))
+    finite = np.isfinite(d)
+    assert (hv[finite] <= d[finite] + 1e-6).all()
