@@ -2,13 +2,18 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce reproduce-tiny report examples clean
+.PHONY: install test chaos bench reproduce reproduce-tiny report examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Deterministic fault-injection suite: every corruption class must be
+# detected by checked mode or recovered by the fallback chain.
+chaos:
+	$(PYTHON) -m pytest tests/robustness/ -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

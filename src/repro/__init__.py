@@ -14,8 +14,8 @@ Quickstart::
     print(ans.distance, len(ans.path()))
 """
 
-from . import analysis, baselines, core, graphs, heuristics, parallel
-from .api import BATCH_METHODS, PPSP_METHODS, PPSPAnswer, batch_ppsp, ppsp
+from . import analysis, baselines, core, graphs, heuristics, parallel, robustness
+from .api import BATCH_METHODS, PPSP_METHODS, PPSPAnswer, batch_ppsp, ppsp, validate_query
 from .core import (
     AStar,
     BiDAStar,
@@ -28,8 +28,16 @@ from .core import (
     sssp,
 )
 from .graphs import Graph
+from .robustness import (
+    Budget,
+    FaultInjector,
+    InvariantAuditor,
+    InvariantViolation,
+    ResilientAnswer,
+    resilient_ppsp,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ppsp",
@@ -37,6 +45,7 @@ __all__ = [
     "PPSPAnswer",
     "PPSP_METHODS",
     "BATCH_METHODS",
+    "validate_query",
     "Graph",
     "QueryGraph",
     "solve_batch",
@@ -47,11 +56,18 @@ __all__ = [
     "BiDAStar",
     "MultiPPSP",
     "DeltaStepping",
+    "Budget",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "FaultInjector",
+    "resilient_ppsp",
+    "ResilientAnswer",
     "graphs",
     "core",
     "heuristics",
     "parallel",
     "baselines",
     "analysis",
+    "robustness",
     "__version__",
 ]

@@ -24,11 +24,37 @@ from .core.policies import AStar, BiDAStar, BiDS, EarlyTermination, SsspPolicy
 from .core.query_graph import QueryGraph
 from .core.stepping import SteppingStrategy
 
-__all__ = ["ppsp", "batch_ppsp", "PPSPAnswer", "PPSP_METHODS", "BATCH_METHODS"]
+__all__ = [
+    "ppsp",
+    "batch_ppsp",
+    "PPSPAnswer",
+    "PPSP_METHODS",
+    "BATCH_METHODS",
+    "validate_query",
+]
 
 PPSP_METHODS = ("sssp", "et", "astar", "bids", "bidastar")
 
 _BIDIRECTIONAL = {"bids", "bidastar"}
+
+
+def validate_query(graph, source: int, target: int) -> None:
+    """Check a query's endpoints against the graph at the API boundary.
+
+    Raises ``ValueError`` naming the offending vertex id instead of
+    letting an out-of-range id surface as a cryptic numpy indexing error
+    deep inside the engine.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        raise ValueError("graph has no vertices; cannot answer queries")
+    for name, v in (("source", source), ("target", target)):
+        v = int(v)
+        if not 0 <= v < n:
+            raise ValueError(
+                f"{name} vertex {v} out of range for graph "
+                f"{graph.name!r} with {n} vertices"
+            )
 
 
 @dataclass
@@ -38,6 +64,11 @@ class PPSPAnswer:
     ``distance`` is the exact shortest s-t distance (``inf`` when
     disconnected); ``run`` carries the distance matrix and the work/depth
     meter for performance analysis.
+
+    When an execution budget ran out mid-search, ``exact`` is False and
+    ``distance`` degrades gracefully to the search's current upper bound
+    μ — always ≥ the true distance, and finite as soon as any s-t path
+    was seen; ``budget_report`` records which limit tripped.
     """
 
     source: int
@@ -45,6 +76,8 @@ class PPSPAnswer:
     distance: float
     method: str
     run: RunResult
+    exact: bool = True
+    budget_report: object | None = None
 
     def path(self) -> list[int]:
         """A shortest s-t vertex path (raises PathError if unreachable)."""
@@ -73,6 +106,9 @@ def ppsp(
     heuristic=None,
     heuristic_to_source=None,
     heuristic_to_target=None,
+    budget=None,
+    checked: bool = False,
+    auditor=None,
     **engine_kwargs,
 ) -> PPSPAnswer:
     """Exact shortest s-t distance with the chosen algorithm.
@@ -80,7 +116,18 @@ def ppsp(
     ``astar``/``bidastar`` need vertex coordinates on the graph (or
     explicit heuristics); all methods accept engine keywords
     (``frontier_mode``, ``pull_relax``).
+
+    ``budget`` (a :class:`repro.robustness.Budget`) bounds the search;
+    on exhaustion the answer degrades gracefully to the current upper
+    bound with ``exact=False``.  ``checked=True`` runs under a fresh
+    :class:`repro.robustness.InvariantAuditor` (or pass ``auditor=``),
+    raising ``InvariantViolation`` if a framework invariant breaks.
     """
+    validate_query(graph, source, target)
+    if checked and auditor is None:
+        from .robustness.auditor import InvariantAuditor  # lazy: avoids cycle
+
+        auditor = InvariantAuditor()
     if method == "sssp":
         policy = SsspPolicy(source)
     elif method == "et":
@@ -99,16 +146,28 @@ def ppsp(
         )
     else:
         raise ValueError(f"unknown method {method!r}; options: {PPSP_METHODS}")
-    run = run_policy(graph, policy, strategy=strategy, **engine_kwargs)
+    run = run_policy(
+        graph, policy, strategy=strategy, budget=budget, auditor=auditor, **engine_kwargs
+    )
     if method == "sssp":
         distance = float(run.answer[target])
     else:
         distance = float(run.answer)
     return PPSPAnswer(
-        source=int(source), target=int(target), distance=distance, method=method, run=run
+        source=int(source),
+        target=int(target),
+        distance=distance,
+        method=method,
+        run=run,
+        exact=not run.exhausted,
+        budget_report=run.budget_report,
     )
 
 
 def batch_ppsp(graph, queries, *, method: str = "multi", **kwargs) -> BatchResult:
-    """Answer a batch of (s, t) queries; see :mod:`repro.core.batch`."""
+    """Answer a batch of (s, t) queries; see :mod:`repro.core.batch`.
+
+    Endpoints are validated up front (``ValueError`` names the first
+    offending vertex id); an empty batch returns an empty result.
+    """
     return solve_batch(graph, queries, method=method, **kwargs)

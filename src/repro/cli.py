@@ -36,6 +36,35 @@ def _load_graph(path: str):
     return graph_io.read_edge_list(path)
 
 
+def _parse_budget(spec: str | None):
+    """Parse ``--budget`` specs like ``steps=500,relaxations=1e6,wall=2.5``."""
+    if not spec:
+        return None
+    from .robustness.budget import Budget
+
+    keys = {"steps": "max_steps", "relaxations": "max_relaxations", "wall": "wall_time"}
+    kwargs = {}
+    for part in spec.split(","):
+        if not part.strip():
+            continue
+        try:
+            key, value = part.split("=", 1)
+        except ValueError:
+            raise SystemExit(f"bad --budget item {part!r}; expected key=value") from None
+        key = key.strip()
+        if key not in keys:
+            raise SystemExit(f"unknown --budget key {key!r}; options: {sorted(keys)}")
+        field = keys[key]
+        try:
+            kwargs[field] = float(value) if field == "wall_time" else int(float(value))
+        except ValueError:
+            raise SystemExit(f"bad --budget value {value!r} for {key}; expected a number") from None
+    try:
+        return Budget(**kwargs)
+    except ValueError as err:
+        raise SystemExit(f"bad --budget: {err}") from None
+
+
 def _cmd_query(args) -> int:
     graph = _load_graph(args.graph)
     trace = None
@@ -43,16 +72,44 @@ def _cmd_query(args) -> int:
         from .core.tracing import StepTrace
 
         trace = StepTrace()
-    ans = ppsp(graph, args.source, args.target, method=args.method, trace=trace)
+    budget = _parse_budget(args.budget)
+    if args.resilient:
+        from .robustness.resilient import resilient_ppsp
+
+        res = resilient_ppsp(
+            graph, args.source, args.target, budget=budget, checked=args.checked
+        )
+        payload = {
+            "source": res.source,
+            "target": res.target,
+            "method": res.method,
+            "distance": res.distance,
+            "exact": res.exact,
+            "reachable": res.reachable,
+            "attempts": [
+                {"method": a.method, "attempt": a.attempt, "outcome": a.outcome,
+                 **({"error": a.error} if a.error else {})}
+                for a in res.attempts
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    ans = ppsp(
+        graph, args.source, args.target, method=args.method,
+        budget=budget, checked=args.checked, trace=trace,
+    )
     payload = {
         "source": ans.source,
         "target": ans.target,
         "method": ans.method,
         "distance": ans.distance,
+        "exact": ans.exact,
         "reachable": ans.reachable,
         "steps": ans.run.steps,
         "relaxations": ans.run.relaxations,
     }
+    if ans.budget_report is not None:
+        payload["budget"] = ans.budget_report.to_dict()
     if args.path and ans.reachable:
         payload["path"] = ans.path()
     if trace is not None:
@@ -73,15 +130,25 @@ def _cmd_batch(args) -> int:
         if len(raw) % 2:
             raise SystemExit("need an even number of vertex ids")
         pairs = list(zip(raw[0::2], raw[1::2]))
-    res = batch_ppsp(graph, pairs, method=args.method)
-    print(json.dumps(
-        {
-            "method": res.method,
-            "num_searches": res.num_searches,
-            "distances": {f"{s}->{t}": d for (s, t), d in sorted(res.distances.items())},
-        },
-        indent=2,
-    ))
+    kwargs = {}
+    budget = _parse_budget(args.budget)
+    if budget is not None:
+        kwargs["budget"] = budget
+    if args.checked:
+        from .robustness.auditor import InvariantAuditor
+
+        kwargs["auditor"] = InvariantAuditor()
+    res = batch_ppsp(graph, pairs, method=args.method, **kwargs)
+    payload = {
+        "method": res.method,
+        "num_searches": res.num_searches,
+        "exact": res.exact,
+        "distances": {f"{s}->{t}": d for (s, t), d in sorted(res.distances.items())},
+    }
+    report = res.details.get("budget_report")
+    if report is not None:
+        payload["budget"] = report.to_dict()
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -108,7 +175,13 @@ def _cmd_generate(args) -> int:
 def _cmd_info(args) -> int:
     from .graphs.validate import validate_graph
 
-    g = _load_graph(args.graph)
+    # Diagnostic load: corrupt files must still be inspectable, so npz
+    # graphs skip construction-time validation here and let
+    # validate_graph report every problem instead.
+    if args.graph.endswith(".npz"):
+        g = graph_io.load_npz(args.graph, validate=False)
+    else:
+        g = _load_graph(args.graph)
     lcc = largest_component(g)
     problems = validate_graph(g)
     print(json.dumps(
@@ -140,6 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--path", action="store_true", help="include a shortest path")
     q.add_argument("--trace", action="store_true",
                    help="per-step engine trace (summary in JSON, table on stderr)")
+    q.add_argument("--budget", metavar="SPEC",
+                   help="execution budget, e.g. 'steps=500,relaxations=1e6,wall=2.5'; "
+                        "on exhaustion the answer degrades to an upper bound (exact=false)")
+    q.add_argument("--checked", action="store_true",
+                   help="verify framework invariants every step (slow; raises on violation)")
+    q.add_argument("--resilient", action="store_true",
+                   help="run the bidastar->bids->et->dijkstra fallback chain "
+                        "instead of a single method")
     q.set_defaults(func=_cmd_query)
 
     b = sub.add_parser("batch", help="a batch of queries")
@@ -147,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--method", default="multi",
                    choices=("multi", "plain-bids", "plain-star-bids", "sssp-plain", "sssp-vc"))
     b.add_argument("--pairs-file", help="file of 's t' lines")
+    b.add_argument("--budget", metavar="SPEC",
+                   help="batch-wide execution budget (see 'query --budget')")
+    b.add_argument("--checked", action="store_true",
+                   help="verify framework invariants every step (slow)")
     b.add_argument("pairs", nargs="*", help="s1 t1 s2 t2 ...")
     b.set_defaults(func=_cmd_batch)
 

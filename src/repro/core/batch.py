@@ -37,13 +37,20 @@ BATCH_METHODS = ("multi", "plain-bids", "plain-star-bids", "sssp-plain", "sssp-v
 
 @dataclass
 class BatchResult:
-    """Answers for one batch: ``distances[(s, t)]`` per queried pair."""
+    """Answers for one batch: ``distances[(s, t)]`` per queried pair.
+
+    ``exact`` is False when an execution budget ran out mid-batch: the
+    recorded distances are then the searches' current upper bounds
+    (``inf`` for queries the budget never reached) and
+    ``details["budget_report"]`` says which limit tripped.
+    """
 
     distances: dict[tuple[int, int], float]
     meter: WorkDepthMeter
     method: str
     num_searches: int
     details: dict = field(default_factory=dict)
+    exact: bool = True
     _path_state: dict | None = field(default=None, repr=False)
 
     def distance(self, s: int, t: int) -> float:
@@ -118,43 +125,93 @@ def solve_batch(
     strategy: SteppingStrategy | None = None,
     strategy_factory=None,
     max_sources: int | None = None,
+    budget=None,
     **engine_kwargs,
 ) -> BatchResult:
     """Answer a batch of PPSP queries.
 
-    ``queries`` is a :class:`QueryGraph` or a sequence of (s, t) pairs.
-    ``strategy_factory`` (a zero-argument callable) is required instead
-    of ``strategy`` for methods that launch several engine runs, since
-    strategies are stateful.
+    ``queries`` is a :class:`QueryGraph` or a sequence of (s, t) pairs;
+    an empty sequence yields an empty result.  Endpoints are validated
+    against the graph before any engine run.  ``strategy_factory`` (a
+    zero-argument callable) is required instead of ``strategy`` for
+    methods that launch several engine runs, since strategies are
+    stateful.
 
     ``max_sources`` (Multi-BiDS only) bounds concurrent searches: the
     engine's distance table is ``O(n · |V_q|)``, so very large batches
     are processed in query-subsets of at most this many endpoints — the
     space-control strategy of Sec. 4.2 ("process a subset of queries in
     turn").
+
+    ``budget`` (a :class:`repro.robustness.Budget`) is shared across the
+    whole batch: one meter covers every engine run, and on exhaustion
+    the result degrades gracefully (``exact=False``, current upper
+    bounds, ``inf`` for unreached queries).
     """
-    qg = queries if isinstance(queries, QueryGraph) else QueryGraph(queries)
     if method not in BATCH_METHODS:
         raise ValueError(f"unknown batch method {method!r}; options: {BATCH_METHODS}")
+    if not isinstance(queries, QueryGraph):
+        queries = list(queries)
+        if len(queries) == 0:
+            return BatchResult(
+                distances={},
+                meter=WorkDepthMeter(),
+                method=method,
+                num_searches=0,
+                details={"empty": True},
+            )
+        qg = QueryGraph(queries)
+    else:
+        qg = queries
+    _validate_endpoints(graph, qg)
     if strategy_factory is None:
         strategy_factory = (lambda: strategy) if strategy is not None else lambda: None
     if max_sources is not None and method != "multi":
         raise ValueError("max_sources applies to the 'multi' method only")
+
+    bmeter = None
+    if budget is not None:
+        bmeter = budget if hasattr(budget, "charge") else budget.start()
+        engine_kwargs = {**engine_kwargs, "budget": bmeter}
+
     if method == "multi":
         if max_sources is not None and qg.num_vertices > max_sources:
-            return _solve_multi_chunked(
+            res = _solve_multi_chunked(
                 graph, qg, strategy_factory, engine_kwargs, max_sources
             )
-        return _solve_multi(graph, qg, strategy_factory(), engine_kwargs)
-    if method == "plain-bids":
-        return _solve_plain_bids(graph, qg, strategy_factory, engine_kwargs, concurrent=False)
-    if method == "plain-star-bids":
-        return _solve_plain_bids(graph, qg, strategy_factory, engine_kwargs, concurrent=True)
-    if method == "sssp-plain":
+        else:
+            res = _solve_multi(graph, qg, strategy_factory(), engine_kwargs)
+    elif method == "plain-bids":
+        res = _solve_plain_bids(graph, qg, strategy_factory, engine_kwargs, concurrent=False)
+    elif method == "plain-star-bids":
+        res = _solve_plain_bids(graph, qg, strategy_factory, engine_kwargs, concurrent=True)
+    elif method == "sssp-plain":
         sources = _plain_sssp_sources(qg)
-        return _solve_sssp(graph, qg, sources, strategy_factory, engine_kwargs, "sssp-plain")
-    cover = qg.vertex_cover()
-    return _solve_sssp(graph, qg, cover, strategy_factory, engine_kwargs, "sssp-vc")
+        res = _solve_sssp(graph, qg, sources, strategy_factory, engine_kwargs, "sssp-plain")
+    else:
+        cover = qg.vertex_cover()
+        res = _solve_sssp(graph, qg, cover, strategy_factory, engine_kwargs, "sssp-vc")
+
+    if bmeter is not None:
+        report = bmeter.report()
+        res.details["budget_report"] = report
+        if report.exhausted:
+            res.exact = False
+    return res
+
+
+def _validate_endpoints(graph, qg: QueryGraph) -> None:
+    """Reject out-of-range query endpoints before any engine work."""
+    n = graph.num_vertices
+    if n == 0:
+        raise ValueError("graph has no vertices; cannot answer queries")
+    for s, t in qg.original_pairs:
+        for v in (s, t):
+            if not 0 <= v < n:
+                raise ValueError(
+                    f"query ({s}, {t}): vertex {v} out of range for graph "
+                    f"{graph.name!r} with {n} vertices"
+                )
 
 
 # ----------------------------------------------------------------------
@@ -166,6 +223,7 @@ def _solve_multi(graph, qg: QueryGraph, strategy, engine_kwargs) -> BatchResult:
         meter=res.meter,
         method="multi",
         num_searches=qg.num_vertices,
+        exact=not res.exhausted,
         details={"steps": res.steps, "relaxations": res.relaxations},
         _path_state={
             "kind": "multi",
@@ -214,6 +272,7 @@ def _solve_multi_chunked(
     distances: dict[tuple[int, int], float] = {}
     combined = WorkDepthMeter()
     searches = 0
+    exact = True
     chunk_states: list[dict] = []
     for pairs in chunks:
         sub = QueryGraph(pairs, directed=qg.directed)
@@ -221,12 +280,14 @@ def _solve_multi_chunked(
         distances.update(res.distances)
         combined.merge(res.meter)
         searches += res.num_searches
+        exact = exact and res.exact
         chunk_states.append(res._path_state)
     return BatchResult(
         distances=distances,
         meter=combined,
         method="multi",
         num_searches=searches,
+        exact=exact,
         details={"chunks": len(chunks), "max_sources": max_sources},
         _path_state={"kind": "chunked", "chunks": chunk_states},
     )
@@ -238,11 +299,13 @@ def _solve_plain_bids(
     distances: dict[tuple[int, int], float] = {}
     meters: list[WorkDepthMeter] = []
     verts = qg.vertices
+    exact = True
     for i, j in qg.edges:
         s, t = int(verts[i]), int(verts[j])
         res = run_policy(graph, BiDS(s, t), strategy=strategy_factory(), **engine_kwargs)
         distances[(s, t)] = res.answer
         meters.append(res.meter)
+        exact = exact and not res.exhausted
     combined = WorkDepthMeter()
     if concurrent:
         combined.merge_parallel(meters)
@@ -254,6 +317,7 @@ def _solve_plain_bids(
         meter=combined,
         method="plain-star-bids" if concurrent else "plain-bids",
         num_searches=2 * qg.num_edges,
+        exact=exact,
     )
 
 
@@ -274,6 +338,7 @@ def _solve_sssp(
     verts = qg.vertices
     rows: dict[int, np.ndarray] = {}
     combined = WorkDepthMeter()
+    exact = True
     for qi in source_indices:
         v = int(verts[qi])
         reverse = (
@@ -285,6 +350,7 @@ def _solve_sssp(
         res = run_policy(g, SsspPolicy(v), strategy=strategy_factory(), **engine_kwargs)
         rows[int(qi)] = res.distances_from(0)
         combined.merge(res.meter)
+        exact = exact and not res.exhausted
     covered = set(int(q) for q in source_indices)
     distances: dict[tuple[int, int], float] = {}
     for i, j in qg.edges:
@@ -306,6 +372,7 @@ def _solve_sssp(
         meter=combined,
         method=name,
         num_searches=len(source_indices),
+        exact=exact,
         _path_state={
             "kind": "sssp",
             "graph": graph,

@@ -54,6 +54,11 @@ class RunResult:
     (row ``i`` = distances from the ``i``-th source; settled vertices hold
     true distances).  ``answer`` is whatever the policy's ``result()``
     returns — a float μ for single queries, a per-query dict for batches.
+
+    ``exhausted`` is True when an execution budget stopped the run before
+    the frontier drained; ``answer`` then holds the policy's current
+    upper bound (graceful degradation) and ``budget_report`` says which
+    limit tripped.
     """
 
     answer: object
@@ -63,6 +68,8 @@ class RunResult:
     relaxations: int
     policy: "Policy"
     graph: "Graph"
+    exhausted: bool = False
+    budget_report: object | None = None
 
     def distances_from(self, source_index: int = 0) -> np.ndarray:
         """Tentative distances from one source (full SSSP row)."""
@@ -86,6 +93,17 @@ class PPSPEngine:
         in-neighbors so it pushes the tightest value it can.
     max_steps : int or None
         Safety valve for tests; production runs terminate naturally.
+    budget : Budget or BudgetMeter or None
+        Execution budget (:mod:`repro.robustness.budget`).  A ``Budget``
+        spec is started fresh per run; a live ``BudgetMeter`` is charged
+        in place, letting several runs share one budget.  Exhaustion
+        stops the run at a step boundary with ``RunResult.exhausted``.
+    auditor : InvariantAuditor or None
+        Checked mode (:mod:`repro.robustness.auditor`): verify framework
+        invariants after every step, raising ``InvariantViolation``.
+    fault_injector : FaultInjector or None
+        Chaos hook (:mod:`repro.robustness.faults`); production runs
+        leave this None.
     """
 
     def __init__(
@@ -96,12 +114,18 @@ class PPSPEngine:
         frontier_mode: str = "auto",
         pull_relax: bool = False,
         max_steps: int | None = None,
+        budget=None,
+        auditor=None,
+        fault_injector=None,
     ) -> None:
         self.graph = graph
         self.strategy = strategy if strategy is not None else default_strategy(graph)
         self.frontier_mode = frontier_mode
         self.pull_relax = pull_relax
         self.max_steps = max_steps
+        self.budget = budget
+        self.auditor = auditor
+        self.fault_injector = fault_injector
 
     # ------------------------------------------------------------------
     def run(
@@ -131,15 +155,36 @@ class PPSPEngine:
         frontier = Frontier(k * n, mode=self.frontier_mode)
         frontier.add(seeds)
 
+        # Robustness hooks are duck-typed so the core stays import-free
+        # of repro.robustness: a Budget spec (has .start) opens a fresh
+        # meter; a live BudgetMeter is charged in place (shared budgets).
+        injector = self.fault_injector
+        auditor = self.auditor
+        bmeter = self.budget
+        if bmeter is not None and not hasattr(bmeter, "charge"):
+            bmeter = bmeter.start()
+        if injector is not None:
+            injector.on_bind(policy, graph)
+        if auditor is not None:
+            auditor.start(policy, graph, dist)
+
         # Group source indices by the graph they traverse (identical for
         # undirected inputs; forward/reverse split for directed BiDS).
         groups = _source_graph_groups(policy, k)
 
         steps = 0
         relaxations = 0
+        exhausted_reason = None
+        empty = np.empty(0, dtype=np.int64)
         while len(frontier):
             if self.max_steps is not None and steps >= self.max_steps:
                 break
+            if bmeter is not None:
+                exhausted_reason = bmeter.check()
+                if exhausted_reason is not None:
+                    break
+            if injector is not None:
+                injector.on_step_start(steps, dist, frontier, policy)
             current = frontier.ids()
             if policy.finished(current, dist):
                 break
@@ -157,54 +202,66 @@ class PPSPEngine:
             # skipped wholesale.
             step_work = float(len(current))
             pruned_count = 0
+            pruned_parts: list[np.ndarray] = []
             prunable = policy.prunable()
             if prunable and len(process):
-                process = process[~policy.prune_mask(process, dist)]
+                mask = policy.prune_mask(process, dist)
+                if auditor is not None and mask.any():
+                    pruned_parts.append(process[mask])
+                process = process[~mask]
             if prunable and len(deferred):
-                before_defer = len(deferred)
-                deferred = deferred[~policy.prune_mask(deferred, dist)]
-                pruned_count += before_defer - len(deferred)
+                mask = policy.prune_mask(deferred, dist)
+                if auditor is not None and mask.any():
+                    pruned_parts.append(deferred[mask])
+                deferred = deferred[~mask]
+                pruned_count += int(mask.sum())
             pruned_count += extracted_count - len(process)
             frontier.replace(deferred, assume_sorted=True)
 
-            if len(process) == 0:
-                step_work += policy.take_extra_work()
-                meter.record_step(step_work)
-                if trace is not None:
-                    trace.record(
-                        step=steps, theta=float(theta), frontier_size=len(current),
-                        extracted=extracted_count, pruned=pruned_count,
-                        relaxed_edges=0, improved=0, mu=policy.trace_mu(),
-                    )
-                steps += 1
-                continue
-
             step_edges = 0
-            changed_all: list[np.ndarray] = []
-            for graph_obj, source_mask in groups:
-                if source_mask is None:
-                    batch = process
-                else:
-                    batch = process[source_mask[process // n]]
-                if len(batch) == 0:
-                    continue
-                changed, edge_count = self._relax_batch(graph_obj, batch, dist, n)
-                relaxations += edge_count
-                step_edges += edge_count
-                step_work += len(batch) + edge_count
-                if len(changed):
-                    changed_all.append(changed)
-
             improved_count = 0
-            if changed_all:
-                changed = np.unique(np.concatenate(changed_all))
-                improved_count = len(changed)
-                step_work += float(len(changed))
-                policy.on_relax(changed, dist)
-                if policy.prunable():
-                    changed = changed[~policy.prune_mask(changed, dist)]
-                    pruned_count += improved_count - len(changed)
-                frontier.add(changed)
+            changed_kept = empty
+            if len(process):
+                changed_all: list[np.ndarray] = []
+                for graph_obj, source_mask in groups:
+                    if source_mask is None:
+                        batch = process
+                    else:
+                        batch = process[source_mask[process // n]]
+                    if len(batch) == 0:
+                        continue
+                    changed, edge_count = self._relax_batch(graph_obj, batch, dist, n)
+                    relaxations += edge_count
+                    step_edges += edge_count
+                    step_work += len(batch) + edge_count
+                    if len(changed):
+                        changed_all.append(changed)
+
+                if changed_all:
+                    changed = np.unique(np.concatenate(changed_all))
+                    improved_count = len(changed)
+                    step_work += float(improved_count)
+                    policy.on_relax(changed, dist)
+                    if policy.prunable():
+                        mask = policy.prune_mask(changed, dist)
+                        if auditor is not None and mask.any():
+                            pruned_parts.append(changed[mask])
+                        changed = changed[~mask]
+                        pruned_count += improved_count - len(changed)
+                    changed_kept = changed
+                    frontier.add(changed_kept)
+
+            if injector is not None:
+                injector.on_step_end(steps, dist, frontier, policy)
+            if auditor is not None:
+                auditor.after_step(
+                    steps, dist, policy,
+                    frontier_ids=frontier.ids(),
+                    deferred=deferred,
+                    changed_kept=changed_kept,
+                    processed=process,
+                    pruned=np.concatenate(pruned_parts) if pruned_parts else empty,
+                )
 
             step_work += policy.take_extra_work()
             meter.record_step(step_work)
@@ -215,6 +272,8 @@ class PPSPEngine:
                     relaxed_edges=step_edges, improved=improved_count,
                     mu=policy.trace_mu(),
                 )
+            if bmeter is not None:
+                bmeter.charge(steps=1, relaxations=step_edges)
             steps += 1
 
         return RunResult(
@@ -225,6 +284,8 @@ class PPSPEngine:
             relaxations=relaxations,
             policy=policy,
             graph=graph,
+            exhausted=exhausted_reason is not None,
+            budget_report=bmeter.report() if bmeter is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -321,6 +382,9 @@ def run_policy(
     pull_relax: bool = False,
     meter: WorkDepthMeter | None = None,
     max_steps: int | None = None,
+    budget=None,
+    auditor=None,
+    fault_injector=None,
     trace=None,
 ) -> RunResult:
     """One-shot convenience wrapper around :class:`PPSPEngine`."""
@@ -330,5 +394,8 @@ def run_policy(
         frontier_mode=frontier_mode,
         pull_relax=pull_relax,
         max_steps=max_steps,
+        budget=budget,
+        auditor=auditor,
+        fault_injector=fault_injector,
     )
     return engine.run(policy, meter=meter, trace=trace)

@@ -12,7 +12,7 @@ searches is built lazily via :meth:`Graph.reverse`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -58,11 +58,18 @@ class Graph:
     coord_system: str | None = None
     name: str = "graph"
     _reverse: "Graph | None" = field(default=None, repr=False, compare=False)
+    #: pass ``validate=False`` to skip construction checks — only for
+    #: diagnostic loads (``repro info``/``validate_graph`` on corrupt files).
+    validate: InitVar[bool] = True
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, validate: bool = True) -> None:
         self.indptr = np.ascontiguousarray(self.indptr, dtype=INDPTR_DTYPE)
         self.indices = np.ascontiguousarray(self.indices, dtype=VERTEX_DTYPE)
         self.weights = np.ascontiguousarray(self.weights, dtype=WEIGHT_DTYPE)
+        if self.coords is not None:
+            self.coords = np.ascontiguousarray(self.coords, dtype=WEIGHT_DTYPE)
+        if not validate:
+            return
         if self.indptr.ndim != 1 or self.indptr[0] != 0:
             raise ValueError("indptr must be 1-D and start at 0")
         if self.indptr[-1] != len(self.indices):
@@ -71,16 +78,27 @@ class Graph:
             raise ValueError("indices and weights must align")
         if np.any(np.diff(self.indptr) < 0):
             raise ValueError("indptr must be nondecreasing")
-        if len(self.weights) and float(self.weights.min()) < 0:
-            raise ValueError("edge weights must be nonnegative")
+        if len(self.weights):
+            # NaN poisons min() comparisons (NaN < 0 is False), so it must
+            # be tested explicitly or corrupt weights slip through here
+            # and surface as wrong distances later.
+            bad = np.flatnonzero(np.isnan(self.weights) | (self.weights < 0))
+            if len(bad):
+                e = int(bad[0])
+                u = int(np.searchsorted(self.indptr, e, side="right") - 1)
+                v = int(self.indices[e])
+                w = self.weights[e]
+                kind = "NaN" if np.isnan(w) else "negative"
+                raise ValueError(
+                    f"edge weights must be nonnegative and not NaN: "
+                    f"edge #{e} ({u} -> {v}) has {kind} weight {w}"
+                )
         if len(self.indices):
             lo, hi = int(self.indices.min()), int(self.indices.max())
             if lo < 0 or hi >= self.num_vertices:
                 raise ValueError("edge endpoint out of range")
-        if self.coords is not None:
-            self.coords = np.ascontiguousarray(self.coords, dtype=WEIGHT_DTYPE)
-            if self.coords.shape[0] != self.num_vertices:
-                raise ValueError("coords must have one row per vertex")
+        if self.coords is not None and self.coords.shape[0] != self.num_vertices:
+            raise ValueError("coords must have one row per vertex")
 
     # ------------------------------------------------------------------
     # Basic accessors

@@ -32,8 +32,12 @@ def save_npz(path: str | os.PathLike, graph: Graph) -> None:
     np.savez_compressed(path, **payload)
 
 
-def load_npz(path: str | os.PathLike) -> Graph:
-    """Inverse of :func:`save_npz`."""
+def load_npz(path: str | os.PathLike, *, validate: bool = True) -> Graph:
+    """Inverse of :func:`save_npz`.
+
+    ``validate=False`` skips construction checks so corrupt files can
+    still be loaded for diagnosis (``repro info``/``validate_graph``).
+    """
     data = np.load(path, allow_pickle=False)
     coords = data["coords"] if "coords" in data else None
     coord_system = str(data["coord_system"]) if "coord_system" in data else None
@@ -45,6 +49,7 @@ def load_npz(path: str | os.PathLike) -> Graph:
         coords=coords,
         coord_system=coord_system or None,
         name=str(data["name"]),
+        validate=validate,
     )
 
 

@@ -16,6 +16,14 @@ from .csr import Graph
 __all__ = ["validate_graph", "assert_valid"]
 
 
+def _describe_edge(graph: Graph, e: int) -> str:
+    """Human-readable location of stored arc ``e``: 'edge #e (u -> v, w=x)'."""
+    u = int(np.searchsorted(graph.indptr, e, side="right") - 1)
+    v = int(graph.indices[e]) if e < len(graph.indices) else -1
+    w = float(graph.weights[e]) if e < len(graph.weights) else float("nan")
+    return f"edge #{e} ({u} -> {v}, w={w})"
+
+
 def validate_graph(graph: Graph, *, require_symmetric: bool | None = None) -> list[str]:
     """All detected contract violations, worst first.
 
@@ -42,9 +50,16 @@ def validate_graph(graph: Graph, *, require_symmetric: bool | None = None) -> li
         if indices.min() < 0 or indices.max() >= n:
             problems.append("edge endpoint out of [0, n)")
         if not np.isfinite(weights).all():
-            problems.append("non-finite edge weight")
+            problems.append(
+                "non-finite edge weight (first at " + _describe_edge(
+                    graph, int(np.flatnonzero(~np.isfinite(weights))[0])
+                ) + ")"
+            )
         elif weights.min() < 0:
-            problems.append("negative edge weight (shortest paths assume nonnegative)")
+            problems.append(
+                "negative edge weight (shortest paths assume nonnegative; first at "
+                + _describe_edge(graph, int(np.flatnonzero(weights < 0)[0])) + ")"
+            )
 
     if graph.coords is not None:
         if graph.coords.shape[0] != n:

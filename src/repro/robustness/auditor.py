@@ -1,0 +1,258 @@
+"""Checked mode: runtime enforcement of the paper's correctness invariants.
+
+The PPSP framework's correctness rests on a handful of delicate
+invariants — μ is a monotone non-increasing upper bound witnessed by real
+paths, ``write_min`` never increases a tentative distance, the BiDS
+``δ[v] ≥ μ/2`` rule (Thm. 3.3) only ever prunes elements the policy
+endorses, and A*/BiD-A* heuristics must stay admissible/consistent
+(Thm. 3.4).  :class:`InvariantAuditor` hooks into the engine's step loop
+and verifies all of them after every step, raising a structured
+:class:`InvariantViolation` the moment one breaks.
+
+Checked mode costs an ``O(k·n)`` snapshot per step and is meant for
+tests, debugging, and canary traffic — not the hot path.  The chaos
+suite (``tests/robustness/test_chaos.py``) proves each check actually
+fires by injecting the corresponding corruption with
+:class:`~repro.robustness.faults.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.policies import AStar, BiDAStar, BiDS, EarlyTermination
+
+__all__ = ["InvariantAuditor", "InvariantViolation"]
+
+
+class InvariantViolation(RuntimeError):
+    """A framework invariant broke at runtime.
+
+    Attributes
+    ----------
+    kind : str
+        Machine-readable violation class: ``dist-increase``,
+        ``mu-increase``, ``mu-unwitnessed``, ``frontier-drop``,
+        ``unsafe-prune``, ``heuristic-endpoint``,
+        ``heuristic-inconsistent``.
+    step : int
+        Engine step at which the violation was detected (-1 = at bind).
+    details : dict
+        Violation-specific evidence (indices, expected/actual values).
+    """
+
+    def __init__(self, kind: str, step: int, message: str, details: dict | None = None) -> None:
+        super().__init__(f"[{kind}] step {step}: {message}")
+        self.kind = kind
+        self.step = step
+        self.details = details or {}
+
+
+class InvariantAuditor:
+    """Per-step invariant checker plugged into the engine (checked mode).
+
+    Parameters
+    ----------
+    sample_edges : int
+        Edges sampled per step for the heuristic-consistency check
+        (``h(u) <= w(u, v) + h(v)``) on A*/BiD-A* runs.
+    tolerance : float
+        Absolute slack for all floating-point comparisons.
+    seed : int
+        Seed for the edge-sampling RNG (audits are deterministic).
+    """
+
+    def __init__(self, *, sample_edges: int = 32, tolerance: float = 1e-9, seed: int = 0) -> None:
+        self.sample_edges = int(sample_edges)
+        self.tolerance = float(tolerance)
+        self._rng = np.random.default_rng(seed)
+        self._snapshot: np.ndarray | None = None
+        self._mu = np.inf
+        self._policy = None
+        self._graph = None
+        self._n = 0
+        #: number of completed per-step audits (observability/testing).
+        self.steps_audited = 0
+
+    # ------------------------------------------------------------------
+    def start(self, policy, graph, dist: np.ndarray) -> None:
+        """Bind-time checks and initial snapshot (engine calls once)."""
+        self._policy = policy
+        self._graph = graph
+        self._n = graph.num_vertices
+        self._snapshot = dist.copy()
+        self._mu = np.inf
+        self.steps_audited = 0
+        self._check_heuristic_endpoints(policy)
+
+    def after_step(
+        self,
+        step: int,
+        dist: np.ndarray,
+        policy,
+        *,
+        frontier_ids: np.ndarray,
+        deferred: np.ndarray,
+        changed_kept: np.ndarray,
+        processed: np.ndarray,
+        pruned: np.ndarray,
+    ) -> None:
+        """Verify every invariant over the step that just completed."""
+        tol = self.tolerance
+        snap = self._snapshot
+
+        # 1. write_min semantics: tentative distances never increase.
+        increased = np.flatnonzero(dist > snap + tol)
+        if len(increased):
+            e = int(increased[0])
+            raise InvariantViolation(
+                "dist-increase",
+                step,
+                f"dist[{e}] rose {snap[e]:.6g} -> {dist[e]:.6g} "
+                "(write_min must be monotone non-increasing)",
+                {"element": e, "before": float(snap[e]), "after": float(dist[e]),
+                 "count": int(len(increased))},
+            )
+
+        # 2. μ is monotone non-increasing ...  (single-query policies only:
+        # MultiPPSP's traced bound is a max over queries and may rise as
+        # new queries first become finite.)
+        mu = float(policy.trace_mu())
+        if isinstance(policy, (EarlyTermination, AStar, BiDS, BiDAStar)) and not np.isnan(mu):
+            if mu > self._mu + tol:
+                raise InvariantViolation(
+                    "mu-increase",
+                    step,
+                    f"mu rose {self._mu:.6g} -> {mu:.6g}",
+                    {"before": self._mu, "after": mu},
+                )
+            # ... and witnessed: μ must match a bound recomputable from
+            # the distance table (a real path), never undercut it.
+            witness = self._witness_bound(policy, dist)
+            if witness is not None and mu < witness - tol:
+                raise InvariantViolation(
+                    "mu-unwitnessed",
+                    step,
+                    f"mu={mu:.6g} undercuts the best witnessed bound {witness:.6g} "
+                    "(no path of that length exists in the distance table)",
+                    {"mu": mu, "witness": float(witness)},
+                )
+            self._mu = min(self._mu, mu)
+
+        # 3. Frontier conservation: after the extract/defer/prune/add
+        # cycle the frontier must hold exactly deferred ∪ changed_kept —
+        # anything else means elements were lost (or invented).
+        expected = np.union1d(deferred, changed_kept)
+        if len(frontier_ids) != len(expected) or not np.array_equal(frontier_ids, expected):
+            lost = np.setdiff1d(expected, frontier_ids)
+            extra = np.setdiff1d(frontier_ids, expected)
+            raise InvariantViolation(
+                "frontier-drop",
+                step,
+                f"frontier lost {len(lost)} and gained {len(extra)} unexpected elements",
+                {"lost": lost[:16].tolist(), "extra": extra[:16].tolist()},
+            )
+
+        # 4. Prune safety: the policy must endorse every prune under the
+        # *current* state (Thm. 3.3 / Table 2 predicates re-evaluated).
+        if len(pruned):
+            endorsed = policy.prune_mask(pruned, dist)
+            bad = pruned[~endorsed]
+            if len(bad):
+                e = int(bad[0])
+                raise InvariantViolation(
+                    "unsafe-prune",
+                    step,
+                    f"element {e} (dist={dist[e]:.6g}) was pruned but the policy "
+                    "no longer endorses it",
+                    {"element": e, "dist": float(dist[e]), "count": int(len(bad))},
+                )
+
+        # 5. Heuristic consistency sampling over this step's extractions.
+        self._check_heuristic_consistency(step, policy, processed)
+
+        self._snapshot = dist.copy()
+        self.steps_audited += 1
+
+    # ------------------------------------------------------------------
+    def _witness_bound(self, policy, dist: np.ndarray) -> float | None:
+        """Best s-t bound recomputable from the distance table, or None."""
+        n = self._n
+        if isinstance(policy, (BiDS, BiDAStar)):
+            total = dist[:n] + dist[n:2 * n]
+            return float(total.min()) if np.isfinite(total).any() else np.inf
+        if isinstance(policy, (EarlyTermination, AStar)):
+            return float(dist[policy.t])
+        return None
+
+    def _heuristics_of(self, policy) -> list:
+        if isinstance(policy, AStar) and policy.heuristic is not None:
+            return [policy.heuristic]
+        if isinstance(policy, BiDAStar):
+            return [h for h in (policy.h_s, policy.h_t) if h is not None]
+        return []
+
+    def _check_heuristic_endpoints(self, policy) -> None:
+        """Admissibility at the anchors: h_t(t) and h_s(s) must be 0."""
+        checks = []
+        if isinstance(policy, AStar) and policy.heuristic is not None:
+            checks.append(("h(target)", policy.heuristic, policy.t))
+        if isinstance(policy, BiDAStar):
+            if policy.h_s is not None:
+                checks.append(("h_s(source)", policy.h_s, policy.s))
+            if policy.h_t is not None:
+                checks.append(("h_t(target)", policy.h_t, policy.t))
+        for label, h, v in checks:
+            val = float(h(np.array([v]))[0])
+            if abs(val) > self.tolerance:
+                raise InvariantViolation(
+                    "heuristic-endpoint",
+                    -1,
+                    f"{label} = {val:.6g}, expected 0 (inadmissible heuristic)",
+                    {"vertex": int(v), "value": val},
+                )
+
+    def _check_heuristic_consistency(self, step: int, policy, processed: np.ndarray) -> None:
+        """Sampled triangle-inequality check h(u) <= w(u,v) + h(v).
+
+        Consistency (plus h = 0 at the anchor) implies admissibility, and
+        it is locally checkable — one edge at a time — which makes it the
+        right spot check for a running search.  Directed graphs only
+        check the target-anchored heuristic (consistent over forward
+        edges); undirected graphs check every heuristic the policy uses.
+        """
+        heuristics = self._heuristics_of(policy)
+        if not heuristics or self.sample_edges <= 0 or len(processed) == 0:
+            return
+        graph = self._graph
+        if graph.directed and isinstance(policy, BiDAStar):
+            heuristics = [policy.h_t] if policy.h_t is not None else []
+        verts = np.unique(processed % self._n)
+        starts = graph.indptr[verts]
+        counts = graph.indptr[verts + 1] - starts
+        has = counts > 0
+        if not has.any():
+            return
+        # Sample one out-edge per extracted vertex, then cap the batch.
+        verts, starts, counts = verts[has], starts[has], counts[has]
+        offs = starts + (self._rng.random(len(verts)) * counts).astype(np.int64)
+        if len(offs) > self.sample_edges:
+            pick = self._rng.choice(len(offs), size=self.sample_edges, replace=False)
+            verts, offs = verts[pick], offs[pick]
+        nbrs = graph.indices[offs].astype(np.int64)
+        ws = graph.weights[offs]
+        for h in heuristics:
+            hu = h(verts)
+            hv = h(nbrs)
+            slack = hu - ws - hv
+            bad = np.flatnonzero(slack > self.tolerance)
+            if len(bad):
+                i = int(bad[0])
+                raise InvariantViolation(
+                    "heuristic-inconsistent",
+                    step,
+                    f"h({int(verts[i])})={hu[i]:.6g} > w={ws[i]:.6g} + "
+                    f"h({int(nbrs[i])})={hv[i]:.6g} (violates consistency)",
+                    {"u": int(verts[i]), "v": int(nbrs[i]),
+                     "h_u": float(hu[i]), "h_v": float(hv[i]), "w": float(ws[i])},
+                )

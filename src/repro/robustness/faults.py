@@ -1,0 +1,171 @@
+"""Deterministic fault injection for chaos-testing the PPSP stack.
+
+A :class:`FaultInjector` plugs into the engine at fixed hook points and
+corrupts a run in controlled, seedable ways:
+
+* ``corrupt_dist_at``   — raise tentative distances (breaks write_min
+  monotonicity; the auditor's ``dist-increase`` check must fire);
+* ``corrupt_mu_at``     — shrink the policy's μ below any witnessed path
+  (breaks Thm. 3.3 soundness; ``mu-unwitnessed`` must fire);
+* ``drop_frontier_at``  — silently discard frontier elements (lost work;
+  ``frontier-drop`` must fire);
+* ``perturb_heuristic`` — wrap A*/BiD-A* heuristics with positive noise
+  (inadmissible; ``heuristic-endpoint``/``heuristic-inconsistent`` must
+  fire);
+* ``raise_at``          — raise an :class:`InjectedFault` (transient or
+  permanent), which the :func:`~repro.robustness.resilient.resilient_ppsp`
+  fallback chain must absorb.
+
+Every decision flows from one seeded RNG plus hash-based per-vertex
+noise, so a chaos run is exactly reproducible from its seed.  Injection
+stops after ``max_fires`` faults, which is how "transient" failures are
+modeled: fire once, then behave.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FaultInjector", "InjectedFault"]
+
+# Knuth multiplicative hash constant: cheap deterministic per-vertex noise.
+_HASH = 2654435761
+
+
+class InjectedFault(RuntimeError):
+    """An artificial failure raised by :class:`FaultInjector`.
+
+    ``transient=True`` marks failures that a retry may survive (the
+    injector disarms after ``max_fires``); the fallback chain retries
+    those with backoff and skips straight to the next rung otherwise.
+    """
+
+    def __init__(self, message: str, *, transient: bool = True) -> None:
+        super().__init__(message)
+        self.transient = transient
+
+
+class _PerturbedHeuristic:
+    """Wrap a heuristic with deterministic positive per-vertex noise.
+
+    The noise depends only on the vertex id, so repeated evaluations
+    agree (the corruption is in the *values*, not flakiness) — exactly
+    the failure mode of a unit-mismatched or stale landmark table.
+    """
+
+    def __init__(self, inner, scale: float) -> None:
+        self.inner = inner
+        self.scale = float(scale)
+
+    @property
+    def evaluated(self) -> int:
+        return self.inner.evaluated
+
+    @property
+    def calls(self) -> int:
+        return self.inner.calls
+
+    def __call__(self, vertices: np.ndarray) -> np.ndarray:
+        vertices = np.asarray(vertices)
+        noise = ((vertices.astype(np.uint64) * _HASH) % 1024).astype(np.float64) / 1024.0
+        return self.inner(vertices) + self.scale * noise
+
+
+class FaultInjector:
+    """Seedable corruption source wired into the engine's step loop.
+
+    All ``*_at`` parameters are engine step indices (0-based); ``None``
+    disables that fault class.  ``max_fires`` bounds the total number of
+    injected faults across the injector's lifetime — shared across runs,
+    so a fallback chain's retry sees a clean re-execution once the
+    injector is spent.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        corrupt_dist_at: int | None = None,
+        corrupt_dist_count: int = 1,
+        corrupt_scale: float = 10.0,
+        corrupt_mu_at: int | None = None,
+        mu_factor: float = 0.25,
+        drop_frontier_at: int | None = None,
+        drop_fraction: float = 0.5,
+        perturb_heuristic: bool = False,
+        perturb_scale: float = 100.0,
+        raise_at: int | None = None,
+        transient: bool = True,
+        max_fires: int = 1,
+    ) -> None:
+        self.rng = np.random.default_rng(seed)
+        self.corrupt_dist_at = corrupt_dist_at
+        self.corrupt_dist_count = int(corrupt_dist_count)
+        self.corrupt_scale = float(corrupt_scale)
+        self.corrupt_mu_at = corrupt_mu_at
+        self.mu_factor = float(mu_factor)
+        self.drop_frontier_at = drop_frontier_at
+        self.drop_fraction = float(drop_fraction)
+        self.perturb_heuristic = perturb_heuristic
+        self.perturb_scale = float(perturb_scale)
+        self.raise_at = raise_at
+        self.transient = transient
+        self.max_fires = int(max_fires)
+        #: chronological record of (step, fault-kind) injections.
+        self.fired: list[tuple[int, str]] = []
+
+    # ------------------------------------------------------------------
+    def _armed(self) -> bool:
+        return len(self.fired) < self.max_fires
+
+    def _record(self, step: int, kind: str) -> None:
+        self.fired.append((step, kind))
+
+    # -- engine hooks ---------------------------------------------------
+    def on_bind(self, policy, graph) -> None:
+        """Called once per run after ``policy.bind``; may corrupt state."""
+        if not (self.perturb_heuristic and self._armed()):
+            return
+        wrapped = False
+        if getattr(policy, "heuristic", None) is not None:
+            policy.heuristic = _PerturbedHeuristic(policy.heuristic, self.perturb_scale)
+            wrapped = True
+        for attr in ("h_s", "h_t"):
+            if getattr(policy, attr, None) is not None:
+                setattr(policy, attr, _PerturbedHeuristic(getattr(policy, attr), self.perturb_scale))
+                wrapped = True
+        if wrapped:
+            self._record(-1, "perturb-heuristic")
+
+    def on_step_start(self, step: int, dist: np.ndarray, frontier, policy) -> None:
+        """Called at the top of each engine step (before extraction)."""
+        if self.raise_at == step and self._armed():
+            self._record(step, "raise")
+            raise InjectedFault(
+                f"injected {'transient' if self.transient else 'permanent'} "
+                f"fault at step {step}",
+                transient=self.transient,
+            )
+        if self.corrupt_dist_at == step and self._armed():
+            finite = np.flatnonzero(np.isfinite(dist))
+            if len(finite):
+                k = min(self.corrupt_dist_count, len(finite))
+                victims = self.rng.choice(finite, size=k, replace=False)
+                dist[victims] = dist[victims] * self.corrupt_scale + 1.0
+                self._record(step, "corrupt-dist")
+        if self.corrupt_mu_at == step and self._armed():
+            mu = getattr(policy, "mu", None)
+            if mu is not None and np.isfinite(mu) and np.ndim(mu) == 0 and mu > 0:
+                policy.mu = float(mu) * self.mu_factor
+                self._record(step, "corrupt-mu")
+
+    def on_step_end(self, step: int, dist: np.ndarray, frontier, policy) -> None:
+        """Called after the step's frontier update (before the audit)."""
+        if self.drop_frontier_at == step and self._armed():
+            ids = frontier.ids()
+            if len(ids):
+                k = max(1, int(len(ids) * self.drop_fraction))
+                victims = self.rng.choice(len(ids), size=k, replace=False)
+                keep = np.delete(ids, victims)
+                frontier.replace(keep, assume_sorted=True)
+                self._record(step, "drop-frontier")

@@ -1,0 +1,193 @@
+"""Resilient query execution: fallback chains with budgets and retries.
+
+:func:`resilient_ppsp` answers a point-to-point query the way a
+production service must: it tries the fastest algorithm first and walks
+down a chain of progressively simpler, harder-to-break rungs —
+
+    ``bidastar → bids → et → dijkstra-reference``
+
+Each engine rung runs under its own (fresh) budget and, when checked
+mode is on, under an :class:`~repro.robustness.auditor.InvariantAuditor`.
+Transient failures (exceptions carrying ``transient=True``, e.g. an
+:class:`~repro.robustness.faults.InjectedFault` from chaos tests) are
+retried on the same rung with exponential backoff; permanent failures —
+an :class:`~repro.robustness.auditor.InvariantViolation`, a missing
+heuristic, any policy error — skip straight to the next rung.  The final
+rung is the sequential textbook Dijkstra oracle, which shares no code
+with the engine and therefore survives anything that breaks it.
+
+The returned :class:`ResilientAnswer` records which rung answered and
+every attempt made on the way, so operators can see *how* an answer was
+produced, not just what it was.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..api import PPSPAnswer, ppsp, validate_query
+from ..baselines.dijkstra import dijkstra_ppsp
+
+__all__ = ["resilient_ppsp", "ResilientAnswer", "AttemptReport", "DEFAULT_CHAIN"]
+
+DEFAULT_CHAIN = ("bidastar", "bids", "et")
+
+#: the chain's terminal rung — engine-free, exact, unconditionally trusted.
+REFERENCE_RUNG = "dijkstra-reference"
+
+
+@dataclass
+class AttemptReport:
+    """One try of one rung: what ran and how it ended."""
+
+    method: str
+    attempt: int
+    outcome: str  # "ok" | "inexact" | "error"
+    error: str | None = None
+    transient: bool = False
+
+
+@dataclass
+class ResilientAnswer:
+    """Outcome of a fallback-chain query.
+
+    ``method`` is the rung that produced ``distance``; ``attempts`` is
+    the full chronological trail, including failed rungs.  ``exact`` is
+    False only when every rung was budget-limited and the best running
+    upper bound μ is all we have.
+    """
+
+    source: int
+    target: int
+    distance: float
+    exact: bool
+    method: str
+    attempts: list[AttemptReport] = field(default_factory=list)
+    answer: PPSPAnswer | None = None
+
+    @property
+    def reachable(self) -> bool:
+        return bool(np.isfinite(self.distance))
+
+    def path(self) -> list[int]:
+        """Shortest path when an engine rung answered (see PPSPAnswer.path)."""
+        if self.answer is not None:
+            return self.answer.path()
+        raise NotImplementedError(
+            f"rung {self.method!r} does not retain path state; "
+            "re-run ppsp() with an engine method for a path"
+        )
+
+
+def resilient_ppsp(
+    graph,
+    source: int,
+    target: int,
+    *,
+    methods: tuple[str, ...] = DEFAULT_CHAIN,
+    budget=None,
+    retries: int = 1,
+    backoff: float = 0.0,
+    checked: bool = False,
+    reference_fallback: bool = True,
+    fault_injector=None,
+    **kwargs,
+) -> ResilientAnswer:
+    """Answer one query through the fallback chain.
+
+    Parameters
+    ----------
+    methods : tuple of str
+        Engine rungs, tried in order (default BiD-A* → BiDS → ET).
+    budget : Budget or None
+        Per-attempt budget; each attempt gets a fresh meter.  A
+        budget-exhausted rung contributes its upper bound and the chain
+        moves on.
+    retries : int
+        Extra tries per rung for *transient* failures.
+    backoff : float
+        Base sleep (seconds) between transient retries, doubled per try.
+        Zero (the default) retries immediately — tests stay fast.
+    checked : bool
+        Run every engine rung under a fresh :class:`InvariantAuditor`.
+    reference_fallback : bool
+        Finish with sequential Dijkstra when no engine rung answered
+        exactly (guaranteed-exact terminal rung).
+    fault_injector : FaultInjector or None
+        Passed through to the engine (chaos testing).
+
+    Remaining keyword arguments flow to :func:`repro.api.ppsp`.
+    """
+    validate_query(graph, source, target)
+    attempts: list[AttemptReport] = []
+    best_bound = np.inf
+    best_answer: PPSPAnswer | None = None
+    best_method: str | None = None
+
+    for method in methods:
+        for attempt in range(1, retries + 2):
+            try:
+                ans = ppsp(
+                    graph,
+                    source,
+                    target,
+                    method=method,
+                    budget=budget,
+                    checked=checked,
+                    fault_injector=fault_injector,
+                    **kwargs,
+                )
+            except Exception as err:  # noqa: BLE001 — each rung must be contained
+                transient = bool(getattr(err, "transient", False))
+                attempts.append(AttemptReport(
+                    method=method,
+                    attempt=attempt,
+                    outcome="error",
+                    error=f"{type(err).__name__}: {err}",
+                    transient=transient,
+                ))
+                if transient and attempt <= retries:
+                    if backoff > 0:
+                        time.sleep(backoff * (2 ** (attempt - 1)))
+                    continue
+                break  # permanent (or retries spent): next rung
+            if ans.exact:
+                attempts.append(AttemptReport(method=method, attempt=attempt, outcome="ok"))
+                return ResilientAnswer(
+                    source=int(source),
+                    target=int(target),
+                    distance=ans.distance,
+                    exact=True,
+                    method=method,
+                    attempts=attempts,
+                    answer=ans,
+                )
+            # Budget-exhausted: keep the bound, move down the chain.
+            attempts.append(AttemptReport(method=method, attempt=attempt, outcome="inexact"))
+            if ans.distance < best_bound:
+                best_bound, best_answer, best_method = ans.distance, ans, method
+            break
+
+    if reference_fallback:
+        distance = dijkstra_ppsp(graph, int(source), int(target))
+        attempts.append(AttemptReport(method=REFERENCE_RUNG, attempt=1, outcome="ok"))
+        return ResilientAnswer(
+            source=int(source),
+            target=int(target),
+            distance=distance,
+            exact=True,
+            method=REFERENCE_RUNG,
+            attempts=attempts,
+        )
+    return ResilientAnswer(
+        source=int(source),
+        target=int(target),
+        distance=float(best_bound),
+        exact=False,
+        method=best_method or "none",
+        attempts=attempts,
+        answer=best_answer,
+    )

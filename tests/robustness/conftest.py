@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the robustness / chaos suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ppsp
+from repro.baselines.dijkstra import dijkstra_ppsp
+from repro.core.tracing import StepTrace
+from repro.graphs import road_graph
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """A 12x12 road grid with spherical coordinates (supports all methods)."""
+    return road_graph(12, 12, seed=3, name="chaos-grid")
+
+
+@pytest.fixture(scope="module")
+def grid_query(grid):
+    """(source, target, true_distance) across the grid's diagonal."""
+    s, t = 0, grid.num_vertices - 1
+    return s, t, dijkstra_ppsp(grid, s, t)
+
+
+def mu_window(graph, s, t, method):
+    """(first step with finite μ, total steps) of one clean run.
+
+    Chaos tests use this to place injections inside the window where μ
+    is finite but the search has not yet converged — making scenarios
+    self-calibrating instead of hard-coding step numbers.
+    """
+    trace = StepTrace()
+    ans = ppsp(graph, s, t, method=method, trace=trace)
+    first = next((r.step for r in trace.records if np.isfinite(r.mu)), None)
+    return first, ans.run.steps

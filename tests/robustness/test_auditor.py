@@ -1,0 +1,88 @@
+"""Checked mode: the auditor accepts clean runs and rejects bad inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import batch_ppsp, ppsp
+from repro.heuristics import Heuristic
+from repro.robustness import InvariantAuditor, InvariantViolation
+
+
+class _FnHeuristic(Heuristic):
+    """Adapt a plain vectorized function to the Heuristic interface."""
+
+    def __init__(self, fn):
+        super().__init__()
+        self.fn = fn
+
+    def _compute(self, vertices):
+        return self.fn(vertices)
+
+METHODS = ["sssp", "et", "bids", "astar", "bidastar"]
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_no_false_positives(self, grid, grid_query, method):
+        s, t, true = grid_query
+        ans = ppsp(grid, s, t, method=method, checked=True)
+        assert ans.exact
+        assert ans.distance == pytest.approx(true)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_auditor_actually_runs(self, grid, grid_query, method):
+        s, t, _ = grid_query
+        auditor = InvariantAuditor()
+        ans = ppsp(grid, s, t, method=method, auditor=auditor)
+        assert auditor.steps_audited == ans.run.steps > 0
+
+    @pytest.mark.parametrize("method", ["multi", "plain-bids", "sssp-vc"])
+    def test_batch_checked_clean(self, grid, method):
+        res = batch_ppsp(
+            grid, [(0, 143), (5, 100)], method=method, auditor=InvariantAuditor()
+        )
+        assert res.exact
+
+    def test_deterministic_sampling(self, grid, grid_query):
+        s, t, _ = grid_query
+        # Two audited runs with the same seed behave identically (no
+        # flaky sampling); a violation-free run stays violation-free.
+        for _ in range(2):
+            ppsp(grid, s, t, method="astar", auditor=InvariantAuditor(seed=7))
+
+
+class TestDetection:
+    def test_inadmissible_heuristic_rejected_at_bind(self, grid, grid_query):
+        s, t, _ = grid_query
+
+        def offset(v):  # h(t) != 0: inadmissible at the anchor
+            return np.full(len(np.asarray(v)), 5.0)
+
+        with pytest.raises(InvariantViolation) as exc:
+            ppsp(grid, s, t, method="astar", heuristic=_FnHeuristic(offset),
+                 auditor=InvariantAuditor())
+        assert exc.value.kind == "heuristic-endpoint"
+        assert exc.value.step == -1
+
+    def test_inconsistent_heuristic_caught_by_sampling(self, grid, grid_query):
+        s, t, _ = grid_query
+
+        def jagged(v):  # huge pseudo-random jumps between neighbours, h(t)=0
+            v = np.asarray(v)
+            h = ((v * 2654435761) % 1024).astype(np.float64) * 1e3
+            h[v == t] = 0.0
+            return h
+
+        with pytest.raises(InvariantViolation) as exc:
+            ppsp(grid, s, t, method="astar", heuristic=_FnHeuristic(jagged),
+                 auditor=InvariantAuditor())
+        assert exc.value.kind == "heuristic-inconsistent"
+
+    def test_violation_is_structured(self):
+        err = InvariantViolation("mu-increase", 3, "mu rose", {"before": 1.0})
+        assert err.kind == "mu-increase"
+        assert err.step == 3
+        assert err.details["before"] == 1.0
+        assert "[mu-increase] step 3" in str(err)
