@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench reproduce reproduce-tiny report examples clean
+.PHONY: install test test-slow chaos bench reproduce reproduce-tiny report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,8 +15,15 @@ test:
 chaos:
 	$(PYTHON) -m pytest tests/robustness/ -q
 
+# Nightly-only stress/invariant suites excluded from the default run.
+test-slow:
+	$(PYTHON) -m pytest tests/ -m slow
+
+# Nightly benchmark pass: the seeded regression workload (gated against
+# the newest BENCH_*.json) plus the pytest-benchmark micro suites.
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) -m repro bench --scale small --check
+	$(PYTHON) -m pytest benchmarks/ -m bench --benchmark-only
 
 # Regenerate every paper artifact (Tab. 3/4, Fig. 1/4-7) + extensions.
 reproduce:

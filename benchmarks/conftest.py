@@ -20,6 +20,12 @@ from repro.graphs.connectivity import largest_component
 REPRESENTATIVES = ("OK", "IT", "NA", "GL5")
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session", params=REPRESENTATIVES)
 def rep_graph(request):
     return build_graph(request.param, "tiny")

@@ -1,0 +1,30 @@
+"""Bench-marked smoke run of the perf regression harness.
+
+``make bench`` runs the real gate (``repro bench --scale small
+--check``); this file keeps the harness itself inside the pytest
+benchmark suite so ``pytest benchmarks/ -m bench`` exercises the full
+snapshot/compare path on a tiny workload without touching the repo's
+committed ``BENCH_*.json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.regression import bench_command
+
+
+def test_tiny_snapshot_and_gate(tmp_path):
+    payload, rc = bench_command(scale="tiny", directory=tmp_path)
+    assert rc == 0
+    assert payload["gates"]["pass"] is True
+
+    # Second run gates cleanly against the first.
+    payload2, rc2 = bench_command(scale="tiny", directory=tmp_path, check=True)
+    assert rc2 == 0
+    assert payload2["comparison"]["status"] == "ok"
+
+    emitted = sorted(p.name for p in tmp_path.glob("BENCH_*.json"))
+    assert emitted == ["BENCH_2.json", "BENCH_3.json"]
+    for name in emitted:
+        json.loads((tmp_path / name).read_text())

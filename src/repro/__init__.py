@@ -14,8 +14,16 @@ Quickstart::
     print(ans.distance, len(ans.path()))
 """
 
-from . import analysis, baselines, core, graphs, heuristics, parallel, robustness
-from .api import BATCH_METHODS, PPSP_METHODS, PPSPAnswer, batch_ppsp, ppsp, validate_query
+from . import analysis, baselines, core, graphs, heuristics, parallel, perf, robustness
+from .api import (
+    BATCH_METHODS,
+    PPSP_METHODS,
+    PPSPAnswer,
+    batch_ppsp,
+    ppsp,
+    validate_query,
+    warm,
+)
 from .core import (
     AStar,
     BiDAStar,
@@ -28,6 +36,7 @@ from .core import (
     sssp,
 )
 from .graphs import Graph
+from .perf import BufferArena, WarmAnswer, WarmEngine
 from .robustness import (
     Budget,
     FaultInjector,
@@ -37,11 +46,15 @@ from .robustness import (
     resilient_ppsp,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ppsp",
     "batch_ppsp",
+    "warm",
+    "WarmEngine",
+    "WarmAnswer",
+    "BufferArena",
     "PPSPAnswer",
     "PPSP_METHODS",
     "BATCH_METHODS",
@@ -68,6 +81,7 @@ __all__ = [
     "parallel",
     "baselines",
     "analysis",
+    "perf",
     "robustness",
     "__version__",
 ]

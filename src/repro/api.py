@@ -9,6 +9,10 @@ This is the library facade most users need:
 Methods map to the paper's algorithms: ``sssp`` (no pruning), ``et``
 (early termination), ``astar``, ``bids``, ``bidastar``; batch methods
 are documented in :mod:`repro.core.batch`.
+
+For repeated queries against one graph, :func:`warm` returns a
+:class:`repro.perf.WarmEngine` — the same algorithms behind pooled
+buffers, cached heuristics, and a result cache (see ``docs/perf.md``).
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from .core.stepping import SteppingStrategy
 __all__ = [
     "ppsp",
     "batch_ppsp",
+    "warm",
     "PPSPAnswer",
     "PPSP_METHODS",
     "BATCH_METHODS",
@@ -171,3 +176,17 @@ def batch_ppsp(graph, queries, *, method: str = "multi", **kwargs) -> BatchResul
     offending vertex id); an empty batch returns an empty result.
     """
     return solve_batch(graph, queries, method=method, **kwargs)
+
+
+def warm(graph, **kwargs):
+    """A :class:`repro.perf.WarmEngine` bound to ``graph``.
+
+    The warm counterpart of :func:`ppsp`/:func:`batch_ppsp`: identical
+    answers, but repeated queries reuse pooled ``(k, n)`` buffers,
+    cached heuristic rows, and an LRU result cache.  Keyword arguments
+    are forwarded to :class:`~repro.perf.warm.WarmEngine` (cache sizes,
+    ``landmarks=``, a shared ``arena=``, ...).
+    """
+    from .perf.warm import WarmEngine  # lazy: perf imports this module
+
+    return WarmEngine(graph, **kwargs)

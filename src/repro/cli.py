@@ -5,6 +5,8 @@ entry point):
 
 * ``query``    — one PPSP query on a saved graph;
 * ``batch``    — a batch of queries (pairs on the command line or a file);
+* ``trace``    — a query's full per-step engine trace (table or JSON);
+* ``bench``    — the benchmark-regression harness (emits ``BENCH_<i>.json``);
 * ``generate`` — build a suite-style synthetic graph and save it;
 * ``info``     — Tab.-3-style statistics of a saved graph.
 
@@ -118,6 +120,53 @@ def _cmd_query(args) -> int:
     if trace is not None:
         print(trace.render(), file=sys.stderr)
     return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run one query with a :class:`StepTrace` and export it."""
+    from .core.tracing import StepTrace
+
+    graph = _load_graph(args.graph)
+    trace = StepTrace()
+    ans = ppsp(graph, args.source, args.target, method=args.method, trace=trace)
+    if args.json:
+        payload = json.loads(trace.to_json())
+        payload["query"] = {
+            "source": ans.source,
+            "target": ans.target,
+            "method": ans.method,
+            "distance": ans.distance,
+            "reachable": ans.reachable,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(trace.render(max_rows=args.max_rows))
+        print(json.dumps({"distance": ans.distance, **trace.summary()}), file=sys.stderr)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Run the seeded regression workload and gate against the baseline."""
+    from .perf.regression import bench_command
+
+    payload, rc = bench_command(
+        scale=args.scale,
+        output=args.output,
+        baseline=args.baseline,
+        directory=args.dir,
+        work_tolerance=args.work_tolerance,
+        wall_tolerance=args.wall_tolerance,
+        check=args.check,
+    )
+    print(json.dumps(
+        {
+            "output": payload["output_file"],
+            "gates": payload["gates"],
+            "comparison": payload["comparison"],
+        },
+        indent=2,
+    ))
+    return rc
 
 
 def _cmd_batch(args) -> int:
@@ -234,6 +283,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="verify framework invariants every step (slow)")
     b.add_argument("pairs", nargs="*", help="s1 t1 s2 t2 ...")
     b.set_defaults(func=_cmd_batch)
+
+    t = sub.add_parser("trace", help="full per-step engine trace of one query")
+    t.add_argument("--graph", required=True)
+    t.add_argument("--source", type=int, required=True)
+    t.add_argument("--target", type=int, required=True)
+    t.add_argument("--method", default="bids",
+                   choices=("sssp", "et", "bids", "astar", "bidastar"))
+    t.add_argument("--json", action="store_true",
+                   help="machine-readable export (StepTrace.to_json) instead of a table")
+    t.add_argument("--max-rows", type=int, default=40,
+                   help="table rows before head/tail elision (table mode)")
+    t.set_defaults(func=_cmd_trace)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark-regression harness (emits BENCH_<i>.json)"
+    )
+    bench.add_argument("--scale", default="small", choices=("tiny", "small"))
+    bench.add_argument("--output", help="snapshot path (default: next BENCH_<i>.json)")
+    bench.add_argument("--baseline",
+                       help="baseline snapshot to gate against "
+                            "(default: highest-numbered BENCH_*.json)")
+    bench.add_argument("--dir", default=".", help="directory holding BENCH_*.json")
+    bench.add_argument("--work-tolerance", type=float, default=0.10,
+                       help="allowed relative increase of deterministic counters")
+    bench.add_argument("--wall-tolerance", type=float, default=1.00,
+                       help="allowed relative increase of wall-clock numbers")
+    bench.add_argument("--check", action="store_true",
+                       help="exit nonzero when the tolerance gate fails")
+    bench.set_defaults(func=_cmd_bench)
 
     g = sub.add_parser("generate", help="build a synthetic suite-style graph")
     g.add_argument("--kind", required=True,

@@ -126,6 +126,7 @@ def solve_batch(
     strategy_factory=None,
     max_sources: int | None = None,
     budget=None,
+    arena=None,
     **engine_kwargs,
 ) -> BatchResult:
     """Answer a batch of PPSP queries.
@@ -147,6 +148,14 @@ def solve_batch(
     whole batch: one meter covers every engine run, and on exhaustion
     the result degrades gracefully (``exact=False``, current upper
     bounds, ``inf`` for unreached queries).
+
+    ``arena`` (a :class:`repro.perf.BufferArena`) pools the per-search
+    distance matrices across the batch's engine runs — methods that
+    launch many runs (``plain-bids``, ``sssp-vc``, chunked ``multi``)
+    then allocate one buffer per distinct shape instead of one per run.
+    The buffers stay leased because ``BatchResult`` path state views
+    them; releasing is the caller's job
+    (:meth:`repro.perf.WarmEngine.batch` scopes this automatically).
     """
     if method not in BATCH_METHODS:
         raise ValueError(f"unknown batch method {method!r}; options: {BATCH_METHODS}")
@@ -173,6 +182,8 @@ def solve_batch(
     if budget is not None:
         bmeter = budget if hasattr(budget, "charge") else budget.start()
         engine_kwargs = {**engine_kwargs, "budget": bmeter}
+    if arena is not None:
+        engine_kwargs = {**engine_kwargs, "arena": arena}
 
     if method == "multi":
         if max_sources is not None and qg.num_vertices > max_sources:

@@ -104,6 +104,13 @@ class PPSPEngine:
     fault_injector : FaultInjector or None
         Chaos hook (:mod:`repro.robustness.faults`); production runs
         leave this None.
+    arena : BufferArena or None
+        Buffer pool (:mod:`repro.perf.arena`).  When set, the ``(k*n,)``
+        distance array and dense frontier masks are acquired from the
+        pool instead of freshly allocated; the distance buffer stays
+        leased inside the returned :class:`RunResult` (``result.dist``
+        is a view of it) and it is the *caller's* job to release it —
+        :class:`~repro.perf.warm.WarmEngine` scopes this automatically.
     """
 
     def __init__(
@@ -117,6 +124,7 @@ class PPSPEngine:
         budget=None,
         auditor=None,
         fault_injector=None,
+        arena=None,
     ) -> None:
         self.graph = graph
         self.strategy = strategy if strategy is not None else default_strategy(graph)
@@ -126,6 +134,7 @@ class PPSPEngine:
         self.budget = budget
         self.auditor = auditor
         self.fault_injector = fault_injector
+        self.arena = arena
 
     # ------------------------------------------------------------------
     def run(
@@ -143,7 +152,10 @@ class PPSPEngine:
         graph = self.graph
         n = graph.num_vertices
         k = policy.num_sources
-        dist = np.full(k * n, np.inf, dtype=np.float64)
+        if self.arena is not None:
+            dist = self.arena.acquire(k * n, dtype=np.float64, fill=np.inf)
+        else:
+            dist = np.full(k * n, np.inf, dtype=np.float64)
         meter = meter if meter is not None else WorkDepthMeter()
         self.strategy.reset()
 
@@ -152,7 +164,7 @@ class PPSPEngine:
         dist[seeds] = np.asarray(seed_vals, dtype=np.float64)
         policy.on_relax(seeds, dist)
 
-        frontier = Frontier(k * n, mode=self.frontier_mode)
+        frontier = Frontier(k * n, mode=self.frontier_mode, arena=self.arena)
         frontier.add(seeds)
 
         # Robustness hooks are duck-typed so the core stays import-free
@@ -276,6 +288,9 @@ class PPSPEngine:
                 bmeter.charge(steps=1, relaxations=step_edges)
             steps += 1
 
+        # Dense frontier masks go straight back to the pool; the dist
+        # buffer stays leased because RunResult.dist views it.
+        frontier.dispose()
         return RunResult(
             answer=policy.result(),
             dist=dist.reshape(k, n),
@@ -385,6 +400,7 @@ def run_policy(
     budget=None,
     auditor=None,
     fault_injector=None,
+    arena=None,
     trace=None,
 ) -> RunResult:
     """One-shot convenience wrapper around :class:`PPSPEngine`."""
@@ -397,5 +413,6 @@ def run_policy(
         budget=budget,
         auditor=auditor,
         fault_injector=fault_injector,
+        arena=arena,
     )
     return engine.run(policy, meter=meter, trace=trace)

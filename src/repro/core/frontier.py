@@ -29,16 +29,35 @@ class Frontier:
     #: ... and back to sparse below this fraction (hysteresis).
     SPARSE_FRACTION = 0.02
 
-    def __init__(self, capacity: int, mode: str = "auto") -> None:
+    def __init__(self, capacity: int, mode: str = "auto", *, arena=None) -> None:
         if mode not in ("auto", "sparse", "dense"):
             raise ValueError(f"unknown frontier mode {mode!r}")
         self.capacity = int(capacity)
         self.mode = mode
+        self._arena = arena
         self._sparse: np.ndarray = np.empty(0, dtype=np.int64)
         self._dense: np.ndarray | None = None
         self._use_dense = mode == "dense"
         if self._use_dense:
-            self._dense = np.zeros(self.capacity, dtype=bool)
+            self._dense = self._new_dense()
+
+    def _new_dense(self) -> np.ndarray:
+        """A zeroed membership array, pooled when an arena is attached."""
+        if self._arena is not None:
+            return self._arena.acquire(self.capacity, dtype=bool, fill=False)
+        return np.zeros(self.capacity, dtype=bool)
+
+    def _drop_dense(self) -> None:
+        if self._arena is not None and self._dense is not None:
+            self._arena.release(self._dense)
+        self._dense = None
+
+    def dispose(self) -> None:
+        """Return any pooled storage to the arena (end of an engine run)."""
+        if self._use_dense:
+            self._sparse = np.flatnonzero(self._dense) if len(self) else np.empty(0, dtype=np.int64)
+            self._use_dense = False
+        self._drop_dense()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -110,12 +129,12 @@ class Frontier:
             return
         size = len(self)
         if not self._use_dense and size > self.DENSE_FRACTION * self.capacity:
-            dense = np.zeros(self.capacity, dtype=bool)
+            dense = self._new_dense()
             dense[self._sparse] = True
             self._dense = dense
             self._sparse = np.empty(0, dtype=np.int64)
             self._use_dense = True
         elif self._use_dense and size < self.SPARSE_FRACTION * self.capacity:
             self._sparse = np.flatnonzero(self._dense)
-            self._dense = None
+            self._drop_dense()
             self._use_dense = False

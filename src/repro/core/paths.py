@@ -33,34 +33,37 @@ def walk_path(graph, dist: np.ndarray, source: int, target: int) -> list[int]:
     if not np.isfinite(dist[target]):
         raise PathError(f"target {target} unreachable")
     rev = graph if not graph.directed else graph.reverse()
-    path = [int(target)]
-    v = int(target)
-    # Each hop strictly decreases dist[v], so n iterations suffice for any
-    # graph with positive weights; zero-weight cycles are cut by the
-    # visited set.
-    visited = {v}
-    for _ in range(graph.num_vertices + 1):
+    source = int(source)
+    target = int(target)
+    # DFS over the valid-predecessor relation (u -> v is valid when
+    # dist[u] + w(u, v) == dist[v]).  A greedy single walk is not enough:
+    # on a zero-weight plateau every neighbor looks equally good and a
+    # wrong witness can strand the walk in an already-visited pocket, so
+    # we must be able to back out.  Strict-progress candidates
+    # (dist[u] < dist[v]) are pushed last and therefore explored first;
+    # plateau hops only when forced.
+    stack = [target]
+    parent: dict[int, int | None] = {target: None}
+    while stack:
+        v = stack.pop()
         if v == source:
-            return path[::-1]
+            path = []
+            u: int | None = v
+            while u is not None:
+                path.append(u)
+                u = parent[u]
+            return path
         nbrs = rev.neighbors(v)
         ws = rev.neighbor_weights(v)
         ok = np.isclose(dist[nbrs] + ws, dist[v], rtol=_REL_TOL, atol=_ABS_TOL)
         ok &= np.isfinite(dist[nbrs])
         candidates = nbrs[ok]
-        nxt = None
-        for u in candidates:
-            if int(u) not in visited:
-                nxt = int(u)
-                break
-        if nxt is None:
-            # Zero-weight plateau may force revisiting; accept any witness.
-            if len(candidates) == 0:
-                raise PathError(f"no predecessor found at vertex {v}")
-            nxt = int(candidates[0])
-        visited.add(nxt)
-        path.append(nxt)
-        v = nxt
-    raise PathError("path reconstruction did not terminate")
+        for u in candidates[np.argsort(-dist[candidates], kind="stable")]:
+            u = int(u)
+            if u not in parent:
+                parent[u] = v
+                stack.append(u)
+    raise PathError(f"no shortest-path certificate from {source} to {target}")
 
 
 def meeting_vertex(dist_forward: np.ndarray, dist_backward: np.ndarray) -> int:

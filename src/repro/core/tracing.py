@@ -13,6 +13,7 @@ tracing costs nothing when absent.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -90,6 +91,34 @@ class StepTrace:
             "final_mu": self.records[-1].mu if self.records else None,
         }
 
+    # -- Serialization ---------------------------------------------------
+    def to_dicts(self) -> list[dict]:
+        """All records as plain dicts (non-finite floats kept as floats)."""
+        return [r.as_dict() for r in self.records]
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """The full trace as JSON: ``{"summary": ..., "records": [...]}``.
+
+        Non-finite floats (θ = ∞ before any path is found, μ = NaN for
+        policies without a bound) are encoded as the strings ``"inf"``
+        / ``"-inf"`` / ``"nan"`` so the output is strict JSON that any
+        consumer can parse; :meth:`from_json` restores them.
+        """
+        payload = {
+            "summary": _encode(self.summary()),
+            "records": [_encode(r.as_dict()) for r in self.records],
+        }
+        return json.dumps(payload, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StepTrace":
+        """Rebuild a trace from :meth:`to_json` output (golden fixtures)."""
+        payload = json.loads(text)
+        trace = cls()
+        for rec in payload["records"]:
+            trace.record(**_decode(rec))
+        return trace
+
     def render(self, *, max_rows: int = 40) -> str:
         """A fixed-width table of the trace (head + tail when long)."""
         header = f"{'step':>5} {'theta':>12} {'front':>7} {'extr':>6} {'prune':>6} {'edges':>8} {'impr':>6} {'mu':>12}"
@@ -108,3 +137,22 @@ class StepTrace:
                 f"{r.pruned:>6} {r.relaxed_edges:>8} {r.improved:>6} {mu:>12}"
             )
         return "\n".join(rows)
+
+
+_SPECIAL = {"inf": np.inf, "-inf": -np.inf, "nan": np.nan}
+
+
+def _encode(d: dict) -> dict:
+    """Replace non-JSON floats with sentinel strings."""
+    out = {}
+    for key, value in d.items():
+        if isinstance(value, float) and not np.isfinite(value):
+            value = "nan" if np.isnan(value) else ("inf" if value > 0 else "-inf")
+        out[key] = value
+    return out
+
+
+def _decode(d: dict) -> dict:
+    """Inverse of :func:`_encode`."""
+    return {k: _SPECIAL[v] if isinstance(v, str) and v in _SPECIAL else v
+            for k, v in d.items()}

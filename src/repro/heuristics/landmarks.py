@@ -23,9 +23,11 @@ landmark distances; that variant is out of scope here.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
-from .geometric import Heuristic
+from .geometric import Heuristic, MemoizedHeuristic
 
 
 def _sssp_distances(graph, source):
@@ -50,9 +52,20 @@ class LandmarkSet:
         preprocessing and per-query gather cost (classic ALT uses 8-16).
     method : {"farthest", "random"}
         Landmark placement strategy.
+    max_cached_targets : int
+        Size of the per-target heuristic row cache (see
+        :meth:`heuristic_to`).  ``0`` disables caching.
     """
 
-    def __init__(self, graph, k: int = 8, *, method: str = "farthest", seed: int = 0) -> None:
+    def __init__(
+        self,
+        graph,
+        k: int = 8,
+        *,
+        method: str = "farthest",
+        seed: int = 0,
+        max_cached_targets: int = 64,
+    ) -> None:
         if graph.directed:
             raise ValueError("LandmarkSet supports undirected graphs only")
         if k < 1:
@@ -68,6 +81,10 @@ class LandmarkSet:
             self.dist = np.vstack([_sssp_distances(graph, int(l)) for l in self.landmarks])
         else:
             self.landmarks, self.dist = select_landmarks_farthest(graph, k, seed=seed)
+        self.max_cached_targets = int(max_cached_targets)
+        self._h_cache: OrderedDict[int, Heuristic] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def k(self) -> int:
@@ -82,14 +99,42 @@ class LandmarkSet:
             return 0.0
         return float(np.abs(du[finite] - dv[finite]).max())
 
-    def heuristic_to(self, target: int) -> "LandmarkHeuristic":
+    def heuristic_to(self, target: int, *, cache: bool = True) -> Heuristic:
         """The ALT heuristic estimating distance-to-``target``.
 
         Plug into :class:`~repro.core.policies.AStar` (``heuristic=``) or
         :class:`~repro.core.policies.BiDAStar`
         (``heuristic_to_source=``/``heuristic_to_target=``).
+
+        Heuristics are cached per target (LRU over
+        ``max_cached_targets`` entries) and wrapped in a
+        :class:`~repro.heuristics.geometric.MemoizedHeuristic`, so the
+        ``h`` row built for one query is reused by every later query to
+        the same target instead of recomputed from the landmark matrix —
+        the warm-engine path for coordinate-free graphs.  Pass
+        ``cache=False`` for a fresh, unshared instance (e.g. when the
+        caller resets evaluation counters for an ablation).
         """
-        return LandmarkHeuristic(self, target)
+        target = int(target)
+        if not cache or self.max_cached_targets <= 0:
+            return LandmarkHeuristic(self, target)
+        cached = self._h_cache.get(target)
+        if cached is not None:
+            self.cache_hits += 1
+            self._h_cache.move_to_end(target)
+            return cached
+        self.cache_misses += 1
+        h: Heuristic = MemoizedHeuristic(
+            LandmarkHeuristic(self, target), self.graph.num_vertices
+        )
+        self._h_cache[target] = h
+        while len(self._h_cache) > self.max_cached_targets:
+            self._h_cache.popitem(last=False)
+        return h
+
+    def clear_cache(self) -> None:
+        """Drop all cached per-target heuristic rows (graph mutated)."""
+        self._h_cache.clear()
 
 
 class LandmarkHeuristic(Heuristic):

@@ -1,0 +1,149 @@
+"""Pooled numpy buffers for the warm query path.
+
+Every cold ``ppsp()`` call allocates a fresh ``(k, n)`` distance array
+and (in dense mode) ``k*n`` frontier masks.  On a serving workload —
+many queries against one graph — those allocations dominate the
+fixed per-query overhead the paper's batch design amortizes away.  A
+:class:`BufferArena` keeps released buffers in free lists keyed by
+``(shape, dtype)`` so repeated queries reuse memory instead of paying
+the allocator (and the page-faulting of first-touch) every time.
+
+The arena is deliberately dumb: exact-shape matching, no size classes,
+no trimming policy beyond :meth:`trim`.  Queries against one graph
+produce a tiny, fixed set of shapes (``k ∈ {1, 2, |V_q|}`` times ``n``),
+so exact matching hits essentially always after warm-up — and the
+``allocations`` counter staying flat *is* the test that the warm path
+performs zero new ``(k, n)`` allocations.
+
+Buffers are handed out leased; :meth:`release` returns them to the
+pool.  A :meth:`scope` context manager auto-releases everything
+acquired inside it — the pattern :class:`~repro.perf.warm.WarmEngine`
+uses to bound a query's buffers to the query.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["BufferArena"]
+
+
+class BufferArena:
+    """Free lists of numpy arrays keyed by exact ``(shape, dtype)``.
+
+    Counters (all monotonic):
+
+    * ``allocations`` — buffers created because the free list was empty;
+    * ``reuses``      — acquires served from a free list;
+    * ``releases``    — buffers returned to a free list.
+
+    ``acquire`` never zeroes memory unless asked (``fill=``): a recycled
+    buffer holds stale values from its previous lease, exactly like
+    ``np.empty``.  Callers that need a known initial state pass ``fill``
+    (the engine fills distance arrays with ``inf``).
+    """
+
+    def __init__(self) -> None:
+        self._pools: dict[tuple[tuple[int, ...], str], list[np.ndarray]] = {}
+        self._leased: dict[int, tuple[tuple[tuple[int, ...], str], np.ndarray]] = {}
+        self._scopes: list[list[np.ndarray]] = []
+        self.allocations = 0
+        self.reuses = 0
+        self.releases = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(shape, dtype) -> tuple[tuple[int, ...], str]:
+        shape = (int(shape),) if np.isscalar(shape) else tuple(int(s) for s in shape)
+        return shape, np.dtype(dtype).str
+
+    def acquire(self, shape, dtype=np.float64, *, fill=None) -> np.ndarray:
+        """A buffer of exactly ``shape``/``dtype``, recycled when possible."""
+        key = self._key(shape, dtype)
+        pool = self._pools.get(key)
+        if pool:
+            arr = pool.pop()
+            self.reuses += 1
+        else:
+            arr = np.empty(key[0], dtype=np.dtype(key[1]))
+            self.allocations += 1
+        if fill is not None:
+            arr[...] = fill
+        self._leased[id(arr)] = (key, arr)
+        if self._scopes:
+            self._scopes[-1].append(arr)
+        return arr
+
+    def release(self, arr: np.ndarray | None) -> bool:
+        """Return a leased buffer (or a view of one) to its free list.
+
+        Accepts views — ``RunResult.dist`` is the engine's flat arena
+        buffer reshaped to ``(k, n)`` — by resolving to the base array.
+        Returns False (and does nothing) for arrays the arena does not
+        hold a lease on, so double releases are harmless no-ops.
+        """
+        if arr is None:
+            return False
+        base = arr if arr.base is None else arr.base
+        entry = self._leased.pop(id(base), None)
+        if entry is None:
+            return False
+        key, buf = entry
+        self._pools.setdefault(key, []).append(buf)
+        self.releases += 1
+        return True
+
+    @contextmanager
+    def scope(self):
+        """Auto-release every buffer acquired inside the ``with`` block.
+
+        Buffers explicitly released inside the scope are skipped at exit
+        (release of an unleased buffer is a no-op), so manual and scoped
+        management compose.
+        """
+        leases: list[np.ndarray] = []
+        self._scopes.append(leases)
+        try:
+            yield self
+        finally:
+            self._scopes.pop()
+            for arr in leases:
+                self.release(arr)
+
+    # ------------------------------------------------------------------
+    def trim(self) -> int:
+        """Drop all pooled (free) buffers; returns how many were freed."""
+        freed = sum(len(pool) for pool in self._pools.values())
+        self._pools.clear()
+        return freed
+
+    @property
+    def leased(self) -> int:
+        """Number of buffers currently out on lease."""
+        return len(self._leased)
+
+    @property
+    def pooled(self) -> int:
+        """Number of buffers sitting in free lists."""
+        return sum(len(pool) for pool in self._pools.values())
+
+    def pooled_bytes(self) -> int:
+        return sum(a.nbytes for pool in self._pools.values() for a in pool)
+
+    def stats(self) -> dict:
+        return {
+            "allocations": self.allocations,
+            "reuses": self.reuses,
+            "releases": self.releases,
+            "leased": self.leased,
+            "pooled": self.pooled,
+            "pooled_bytes": self.pooled_bytes(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BufferArena(allocations={self.allocations}, reuses={self.reuses}, "
+            f"pooled={self.pooled}, leased={self.leased})"
+        )

@@ -1,0 +1,129 @@
+"""LRU caches for warm query serving.
+
+Two layers sit on top of the engine:
+
+* :class:`LRUCache` — a small ordered-dict LRU with hit/miss counters,
+  shared by the result cache and the per-target heuristic cache of
+  :class:`~repro.perf.warm.WarmEngine`;
+* :class:`ResultCache` — exact answers keyed by ``(source, target,
+  method)``.  Entries are immutable :class:`~repro.perf.warm.WarmAnswer`
+  values, so a hit costs one dict lookup and no engine work at all.
+
+Invalidation is **explicit**: the caches are bound to one graph object
+and assume its topology and weights do not change.  Anything that
+mutates the graph in place must call
+:meth:`~repro.perf.warm.WarmEngine.invalidate` (which clears both
+layers); building a new :class:`~repro.graphs.csr.Graph` — the usual
+idiom, e.g. ``Graph.with_weights`` — naturally calls for a new
+``WarmEngine``.  See ``docs/perf.md`` for the full semantics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["LRUCache", "ResultCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``maxsize <= 0`` disables caching entirely (every ``get`` misses,
+    ``put`` is a no-op) — handy for ablations and for callers that want
+    cache-off behaviour without branching.
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default=None):
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        if self.maxsize <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def pop(self, key: Hashable, default=None):
+        return self._data.pop(key, default)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def keys(self):
+        return self._data.keys()
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class ResultCache:
+    """Exact ``(source, target, method)`` answers with explicit invalidation.
+
+    A thin, typed veneer over :class:`LRUCache`: keys are normalized to
+    ``(int(s), int(t), str(method))`` so numpy integer scalars and plain
+    ints hit the same entry.  ``invalidate()`` empties the cache (called
+    by :meth:`WarmEngine.invalidate` on graph mutation); counters
+    survive invalidation so long-running services keep lifetime hit
+    rates.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self._lru = LRUCache(maxsize)
+
+    @staticmethod
+    def _key(source: int, target: int, method: str) -> tuple[int, int, str]:
+        return int(source), int(target), str(method)
+
+    def get(self, source: int, target: int, method: str):
+        return self._lru.get(self._key(source, target, method))
+
+    def put(self, source: int, target: int, method: str, answer) -> None:
+        self._lru.put(self._key(source, target, method), answer)
+
+    def invalidate(self) -> None:
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+    def stats(self) -> dict:
+        return self._lru.stats()

@@ -1,0 +1,401 @@
+"""Benchmark-regression harness: a fixed seeded workload + tolerance gate.
+
+``repro bench`` (and ``python -m repro.perf.regression``) runs a frozen
+workload — every single-query method cold and warm, plus the batch
+solvers — on two seeded synthetic graphs, and emits a ``BENCH_<i>.json``
+snapshot at the repo root.  Each snapshot also embeds a comparison
+against the previous ``BENCH_*.json``, so the sequence of files *is*
+the project's performance trajectory: any PR that silently regresses
+work counts or wall-clock shows up as a failed tolerance gate.
+
+Two kinds of numbers are recorded and gated differently:
+
+* **deterministic counters** (engine work, steps, relaxations) are
+  machine-independent: they must match the baseline within a tight
+  tolerance (default 10%), and a miss is a hard regression;
+* **wall-clock** is noisy and machine-dependent: it is recorded for
+  trend reading and gated only by a loose tolerance (default 100%).
+
+The workload is comparable across runs only when scale, seed, and
+schema match; ``compare`` refuses (status ``incomparable``) otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import re
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "SCALES",
+    "SEED",
+    "run_benchmark",
+    "compare",
+    "find_baseline",
+    "next_bench_path",
+    "bench_command",
+]
+
+SCHEMA = 1
+SEED = 1729
+METHODS = ("sssp", "et", "astar", "bids", "bidastar")
+BATCH_METHODS = ("multi", "plain-bids", "sssp-vc")
+#: the acceptance bar: warm repeated-query throughput vs cold start.
+MIN_WARM_SPEEDUP = 3.0
+# Wall-clock baselines shorter than this are too noisy to gate on.
+_WALL_FLOOR_S = 5e-3
+
+SCALES = {
+    "tiny": dict(road_side=8, knn_points=120, num_pairs=3, repeats=2,
+                 warm_rounds=4, batch_pairs=4),
+    "small": dict(road_side=16, knn_points=400, num_pairs=4, repeats=3,
+                  warm_rounds=6, batch_pairs=6),
+}
+
+
+def build_workload(scale: str) -> dict:
+    """The frozen graphs + query pairs for one scale (fully seeded)."""
+    from ..graphs import knn_graph, road_graph
+    from ..graphs.connectivity import largest_component
+    from ..graphs.knn import uniform_points
+
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; options: {sorted(SCALES)}")
+    cfg = SCALES[scale]
+    side = cfg["road_side"]
+    graphs = {
+        "road": road_graph(side, side, seed=SEED, name="bench-road"),
+        "knn": knn_graph(
+            uniform_points(cfg["knn_points"], 2, seed=SEED), k=5, name="bench-knn"
+        ),
+    }
+    pairs: dict[str, list[tuple[int, int]]] = {}
+    batch_pairs: dict[str, list[tuple[int, int]]] = {}
+    for i, (name, g) in enumerate(sorted(graphs.items())):
+        rng = np.random.default_rng(SEED + i)
+        lcc = largest_component(g)
+        chosen = rng.choice(lcc, size=2 * cfg["num_pairs"], replace=False)
+        pairs[name] = [
+            (int(chosen[2 * j]), int(chosen[2 * j + 1])) for j in range(cfg["num_pairs"])
+        ]
+        chosen_b = rng.choice(lcc, size=2 * cfg["batch_pairs"], replace=False)
+        batch_pairs[name] = [
+            (int(chosen_b[2 * j]), int(chosen_b[2 * j + 1]))
+            for j in range(cfg["batch_pairs"])
+        ]
+    return {"config": cfg, "graphs": graphs, "pairs": pairs, "batch_pairs": batch_pairs}
+
+
+def _workload_key(scale: str) -> str:
+    return f"schema{SCHEMA}-scale:{scale}-seed:{SEED}"
+
+
+def run_benchmark(scale: str = "small") -> dict:
+    """Execute the full workload and return the snapshot payload."""
+    from ..api import batch_ppsp, ppsp
+    from .warm import WarmEngine
+
+    wl = build_workload(scale)
+    cfg = wl["config"]
+    repeats, warm_rounds = cfg["repeats"], cfg["warm_rounds"]
+    single: dict[str, dict] = {}
+    batch: dict[str, dict] = {}
+    arena_checks: dict[str, dict] = {}
+
+    for name in sorted(wl["graphs"]):
+        g = wl["graphs"][name]
+        qpairs = wl["pairs"][name]
+        single[name] = {}
+        engine = WarmEngine(g)
+
+        for method in METHODS:
+            # Cold: fresh policy/heuristic/arrays on every call.
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                for s, t in qpairs:
+                    ans = ppsp(g, s, t, method=method)
+            cold_s = (time.perf_counter() - t0) / (repeats * len(qpairs))
+            work = steps = relax = 0.0
+            for s, t in qpairs:
+                ans = ppsp(g, s, t, method=method)
+                work += ans.run.meter.work
+                steps += ans.run.steps
+                relax += ans.run.relaxations
+
+            # Warm: one priming pass fills the caches, then the measured
+            # rounds are repeated queries — the serving steady state.
+            for s, t in qpairs:
+                engine.query(s, t, method=method)
+            t0 = time.perf_counter()
+            for _ in range(warm_rounds):
+                for s, t in qpairs:
+                    engine.query(s, t, method=method)
+            warm_s = (time.perf_counter() - t0) / (warm_rounds * len(qpairs))
+
+            # Warm, result cache bypassed: the engine still runs, but
+            # buffers are pooled and heuristic rows cached — isolates the
+            # arena + h-table effect for the A* family.
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                for s, t in qpairs:
+                    engine.query(s, t, method=method, use_cache=False)
+            warm_uncached_s = (time.perf_counter() - t0) / (repeats * len(qpairs))
+
+            single[name][method] = {
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "warm_uncached_s": warm_uncached_s,
+                "warm_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+                "work": work,
+                "steps": steps,
+                "relaxations": relax,
+            }
+        stats = engine.stats()
+        arena_checks[name] = {
+            "allocations": stats["arena"]["allocations"],
+            "reuses": stats["arena"]["reuses"],
+            "result_hits": stats["results"]["hits"],
+            "heuristic_hits": stats["heuristics"]["hits"],
+        }
+
+        bpairs = wl["batch_pairs"][name]
+        batch[name] = {}
+        for bmethod in BATCH_METHODS:
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                res = batch_ppsp(g, bpairs, method=bmethod)
+            cold_s = (time.perf_counter() - t0) / repeats
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                wres = engine.batch(bpairs, method=bmethod)
+            warm_s = (time.perf_counter() - t0) / repeats
+            batch[name][bmethod] = {
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "work": float(res.meter.work),
+                "num_searches": res.num_searches,
+            }
+
+    gates = _gates(single)
+    return {
+        "schema": SCHEMA,
+        "kind": "repro-bench",
+        "workload_key": _workload_key(scale),
+        "scale": scale,
+        "seed": SEED,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "created_unix": time.time(),
+        "workload": {
+            "config": {k: v for k, v in cfg.items()},
+            "graphs": {
+                name: {"n": g.num_vertices, "m": g.num_edges}
+                for name, g in wl["graphs"].items()
+            },
+            "pairs": {k: v for k, v in wl["pairs"].items()},
+        },
+        "single": single,
+        "batch": batch,
+        "arena": arena_checks,
+        "gates": gates,
+    }
+
+
+def _gates(single: dict) -> dict:
+    """The acceptance gates computed from the measured workload."""
+    speedups = {}
+    for method in ("astar", "bidastar"):
+        vals = [
+            graph_rows[method]["warm_speedup"]
+            for graph_rows in single.values()
+            if method in graph_rows
+        ]
+        speedups[method] = min(vals) if vals else float("inf")
+    return {
+        "min_required_warm_speedup": MIN_WARM_SPEEDUP,
+        "warm_speedup_astar": speedups.get("astar"),
+        "warm_speedup_bidastar": speedups.get("bidastar"),
+        "pass": all(v >= MIN_WARM_SPEEDUP for v in speedups.values()),
+    }
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+def compare(
+    current: dict,
+    baseline: dict,
+    *,
+    work_tolerance: float = 0.10,
+    wall_tolerance: float = 1.00,
+) -> dict:
+    """Tolerance-gate ``current`` against ``baseline``.
+
+    Returns ``{"status": "ok" | "regression" | "incomparable", ...}``.
+    Deterministic counters (work / steps / relaxations) are gated at
+    ``work_tolerance`` relative increase; wall-clock at
+    ``wall_tolerance``.  Wall entries whose baseline is below
+    ``_WALL_FLOOR_S`` are skipped — sub-millisecond timings are
+    scheduler noise, not signal.  Improvements never fail the gate.
+    """
+    if baseline.get("workload_key") != current.get("workload_key"):
+        return {
+            "status": "incomparable",
+            "reason": (
+                f"workload mismatch: baseline {baseline.get('workload_key')!r} "
+                f"vs current {current.get('workload_key')!r}"
+            ),
+        }
+    regressions: list[dict] = []
+    checked = 0
+    for graph, methods in current.get("single", {}).items():
+        base_graph = baseline.get("single", {}).get(graph, {})
+        for method, row in methods.items():
+            base = base_graph.get(method)
+            if base is None:
+                continue
+            for metric, tol in (
+                ("work", work_tolerance),
+                ("steps", work_tolerance),
+                ("relaxations", work_tolerance),
+                ("cold_s", wall_tolerance),
+                ("warm_s", wall_tolerance),
+            ):
+                cur_v, base_v = row.get(metric), base.get(metric)
+                if cur_v is None or base_v is None or base_v <= 0:
+                    continue
+                if metric.endswith("_s") and base_v < _WALL_FLOOR_S:
+                    continue
+                checked += 1
+                if cur_v > base_v * (1.0 + tol):
+                    regressions.append({
+                        "where": f"single.{graph}.{method}.{metric}",
+                        "baseline": base_v,
+                        "current": cur_v,
+                        "ratio": cur_v / base_v,
+                        "tolerance": tol,
+                    })
+    return {
+        "status": "regression" if regressions else "ok",
+        "checked": checked,
+        "work_tolerance": work_tolerance,
+        "wall_tolerance": wall_tolerance,
+        "regressions": regressions,
+    }
+
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def _bench_files(directory: Path) -> list[tuple[int, Path]]:
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    out = []
+    for p in directory.iterdir():
+        m = _BENCH_RE.match(p.name)
+        if m:
+            out.append((int(m.group(1)), p))
+    return sorted(out)
+
+
+def find_baseline(directory, *, exclude: Path | None = None) -> Path | None:
+    """The highest-numbered ``BENCH_*.json`` (excluding the output file)."""
+    files = [
+        p for _, p in _bench_files(Path(directory))
+        if exclude is None or p.resolve() != Path(exclude).resolve()
+    ]
+    return files[-1] if files else None
+
+
+def next_bench_path(directory) -> Path:
+    """The next snapshot name: one past the highest index, starting at 2.
+
+    (``BENCH_2.json`` is the first snapshot because the harness landed
+    in PR 2; the index tracks the PR trajectory, not a file count.)
+    """
+    files = _bench_files(Path(directory))
+    idx = files[-1][0] + 1 if files else 2
+    return Path(directory) / f"BENCH_{idx}.json"
+
+
+# ----------------------------------------------------------------------
+# Command entry (shared by ``repro bench`` and ``python -m``)
+# ----------------------------------------------------------------------
+def bench_command(
+    *,
+    scale: str = "small",
+    output: str | None = None,
+    baseline: str | None = None,
+    directory: str = ".",
+    work_tolerance: float = 0.10,
+    wall_tolerance: float = 1.00,
+    check: bool = False,
+) -> tuple[dict, int]:
+    """Run, compare, write, and summarize one benchmark snapshot.
+
+    Returns ``(payload, exit_code)``; the exit code is nonzero only when
+    ``check`` is set and the gate failed (a comparable baseline showed a
+    regression, or the warm-speedup gate missed).
+    """
+    directory = Path(directory)
+    out_path = Path(output) if output else next_bench_path(directory)
+    payload = run_benchmark(scale)
+
+    base_path = Path(baseline) if baseline else find_baseline(directory, exclude=out_path)
+    if base_path is not None and base_path.exists():
+        base = json.loads(base_path.read_text())
+        payload["comparison"] = {
+            "baseline_file": base_path.name,
+            **compare(payload, base, work_tolerance=work_tolerance,
+                      wall_tolerance=wall_tolerance),
+        }
+    else:
+        payload["comparison"] = {"status": "no-baseline"}
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    payload["output_file"] = str(out_path)
+
+    failed = check and (
+        payload["comparison"]["status"] == "regression" or not payload["gates"]["pass"]
+    )
+    return payload, 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    """``python -m repro.perf.regression`` — the nightly entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=sorted(SCALES))
+    parser.add_argument("--output", help="snapshot path (default: next BENCH_<i>.json)")
+    parser.add_argument("--baseline", help="explicit baseline file to gate against")
+    parser.add_argument("--dir", default=".", help="where BENCH_*.json live")
+    parser.add_argument("--work-tolerance", type=float, default=0.10)
+    parser.add_argument("--wall-tolerance", type=float, default=1.00)
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero on gate failure")
+    args = parser.parse_args(argv)
+    payload, rc = bench_command(
+        scale=args.scale, output=args.output, baseline=args.baseline,
+        directory=args.dir, work_tolerance=args.work_tolerance,
+        wall_tolerance=args.wall_tolerance, check=args.check,
+    )
+    summary = {
+        "output": payload["output_file"],
+        "gates": payload["gates"],
+        "comparison": payload["comparison"],
+    }
+    print(json.dumps(summary, indent=2))
+    return rc
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,338 @@
+"""The warm engine: amortize per-query overheads across a query stream.
+
+A cold :func:`repro.ppsp` call pays three fixed costs every time: fresh
+``(k, n)`` numpy allocations, a new policy + heuristic (recomputing
+``h`` rows A* already computed for the last query to the same target),
+and — trivially but measurably — re-deriving the answer for a query the
+service just answered.  :class:`WarmEngine` binds all three
+amortizations to one graph:
+
+* **buffer pooling** — one :class:`~repro.perf.arena.BufferArena`
+  recycles distance arrays and dense frontier masks, so the steady
+  state performs zero new ``(k, n)`` allocations;
+* **heuristic caching** — memoized per-target heuristics are kept in an
+  LRU, so repeated A*/BiD-A* queries toward a target reuse its ``h``
+  table (geometric graphs) or its landmark row
+  (:class:`~repro.heuristics.landmarks.LandmarkSet` graphs);
+* **result caching** — exact ``(s, t, method)`` answers are served from
+  an LRU without touching the engine at all.
+
+Usage::
+
+    engine = WarmEngine(graph)
+    a = engine.query(s, t, method="bidastar", path=True)
+    a.distance, a.path()
+    engine.batch(pairs, method="multi")
+
+Caches assume the graph is frozen; after mutating it in place call
+:meth:`WarmEngine.invalidate`.  See ``docs/perf.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.batch import BATCH_METHODS, BatchResult, solve_batch
+from ..core.engine import PPSPEngine
+from ..core.paths import stitch_bidirectional_path, walk_path
+from ..core.policies import AStar, BiDAStar, BiDS, EarlyTermination, SsspPolicy
+from ..heuristics.geometric import Heuristic, make_heuristic
+from .arena import BufferArena
+from .cache import LRUCache, ResultCache
+
+__all__ = ["WarmAnswer", "WarmEngine"]
+
+_BIDIRECTIONAL = {"bids", "bidastar"}
+_METHODS = ("sssp", "et", "astar", "bids", "bidastar")
+
+
+@dataclass(frozen=True)
+class WarmAnswer:
+    """One warm query's answer — values only, no live engine state.
+
+    Unlike :class:`repro.api.PPSPAnswer`, this carries no ``RunResult``:
+    the distance matrix lived in a pooled buffer that went back to the
+    arena when the query finished, which is what makes the warm path
+    allocation-free.  ``path()`` returns the shortest path when the
+    query was made with ``path=True``; ``cached`` says the answer came
+    straight from the result cache.
+    """
+
+    source: int
+    target: int
+    method: str
+    distance: float
+    exact: bool = True
+    cached: bool = False
+    steps: int = 0
+    relaxations: int = 0
+    work: float = 0.0
+    depth: float = 0.0
+    path_vertices: tuple[int, ...] | None = None
+
+    @property
+    def reachable(self) -> bool:
+        return bool(np.isfinite(self.distance))
+
+    def path(self) -> list[int]:
+        """The shortest s-t vertex path captured at query time."""
+        if self.source == self.target:
+            return [self.source]
+        if not self.reachable:
+            from ..core.paths import PathError
+
+            raise PathError(f"target {self.target} unreachable from {self.source}")
+        if self.path_vertices is None:
+            raise ValueError(
+                "path was not captured; re-run the query with path=True"
+            )
+        return list(self.path_vertices)
+
+
+class WarmEngine:
+    """Serve many queries against one graph with pooled, cached state.
+
+    Parameters
+    ----------
+    graph : Graph
+        The (frozen) input graph.
+    landmarks : LandmarkSet, optional
+        ALT landmarks enabling ``astar``/``bidastar`` on graphs without
+        coordinates; graphs *with* coordinates use their geometric
+        heuristic and ignore this.
+    result_cache_size : int
+        LRU capacity of the exact-answer cache (0 disables).
+    heuristic_cache_size : int
+        LRU capacity of the per-target heuristic cache.
+    arena : BufferArena, optional
+        Share one pool between several engines on same-size graphs;
+        defaults to a private arena.
+    strategy_factory : callable, optional
+        Zero-argument callable producing a fresh
+        :class:`~repro.core.stepping.SteppingStrategy` per query;
+        defaults to the engine's Δ*-stepping default.
+    frontier_mode, pull_relax :
+        Fixed engine configuration for every query.
+    """
+
+    def __init__(
+        self,
+        graph,
+        *,
+        landmarks=None,
+        result_cache_size: int = 1024,
+        heuristic_cache_size: int = 64,
+        arena: BufferArena | None = None,
+        strategy_factory=None,
+        frontier_mode: str = "auto",
+        pull_relax: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.landmarks = landmarks
+        self.arena = arena if arena is not None else BufferArena()
+        self.results = ResultCache(result_cache_size)
+        self._heuristics: LRUCache = LRUCache(heuristic_cache_size)
+        self._strategy_factory = strategy_factory
+        self._frontier_mode = frontier_mode
+        self._pull_relax = pull_relax
+        self._engine = self._make_engine()
+        self.queries = 0
+        self.batches = 0
+
+    def _make_engine(self) -> PPSPEngine:
+        strategy = self._strategy_factory() if self._strategy_factory else None
+        return PPSPEngine(
+            self.graph,
+            strategy=strategy,
+            frontier_mode=self._frontier_mode,
+            pull_relax=self._pull_relax,
+            arena=self.arena,
+        )
+
+    # ------------------------------------------------------------------
+    # Heuristic cache
+    # ------------------------------------------------------------------
+    def heuristic_for(self, vertex: int) -> Heuristic:
+        """The cached, memoized distance-to-``vertex`` heuristic.
+
+        Geometric graphs get their coordinate heuristic; coordinate-free
+        graphs fall back to the attached :class:`LandmarkSet`.  The same
+        instance is returned for repeated targets, so its memo table
+        (the ``h`` row) persists across queries — the Sec.-5 memoization
+        lifted from per-query to per-engine scope.
+        """
+        vertex = int(vertex)
+        h = self._heuristics.get(vertex)
+        if h is not None:
+            return h
+        if self.graph.coords is not None and self.graph.coord_system is not None:
+            h = make_heuristic(self.graph, vertex, memoize=True)
+        elif self.landmarks is not None:
+            h = self.landmarks.heuristic_to(vertex)
+        else:
+            raise ValueError(
+                f"graph {self.graph.name!r} has no coordinates and no landmarks "
+                "attached; A* methods are not applicable"
+            )
+        self._heuristics.put(vertex, h)
+        return h
+
+    def _make_policy(self, source: int, target: int, method: str):
+        if method == "sssp":
+            return SsspPolicy(source)
+        if method == "et":
+            return EarlyTermination(source, target)
+        if method == "astar":
+            return AStar(source, target, heuristic=self.heuristic_for(target))
+        if method == "bids":
+            return BiDS(source, target)
+        if method == "bidastar":
+            return BiDAStar(
+                source,
+                target,
+                heuristic_to_source=self.heuristic_for(source),
+                heuristic_to_target=self.heuristic_for(target),
+            )
+        raise ValueError(f"unknown method {method!r}; options: {_METHODS}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        source: int,
+        target: int,
+        *,
+        method: str = "bids",
+        path: bool = False,
+        use_cache: bool = True,
+    ) -> WarmAnswer:
+        """Exact shortest s-t distance, warm.
+
+        Semantically identical to ``repro.ppsp(graph, s, t,
+        method=...)`` — same engine, same policies — but buffers come
+        from the pool, heuristics from the heuristic cache, and repeat
+        queries from the result cache.  ``path=True`` captures a
+        shortest path while the distance matrix is still alive (pooled
+        buffers are recycled when the call returns, so the path cannot
+        be derived later).
+        """
+        from ..api import validate_query  # runtime import: api imports perf lazily
+
+        validate_query(self.graph, source, target)
+        source, target = int(source), int(target)
+        self.queries += 1
+        if use_cache:
+            hit = self.results.get(source, target, method)
+            if hit is not None and (hit.path_vertices is not None or not path
+                                    or not hit.reachable or source == target):
+                return replace(hit, cached=True)
+
+        with self.arena.scope():
+            run = self._engine.run(self._make_policy(source, target, method))
+            if method == "sssp":
+                distance = float(run.answer[target])
+            else:
+                distance = float(run.answer)
+            path_vertices = None
+            if path and np.isfinite(distance) and source != target:
+                if method in _BIDIRECTIONAL:
+                    p = stitch_bidirectional_path(
+                        self.graph, run.dist[0], run.dist[1], source, target
+                    )
+                else:
+                    p = walk_path(self.graph, run.dist[0], source, target)
+                path_vertices = tuple(int(v) for v in p)
+
+        answer = WarmAnswer(
+            source=source,
+            target=target,
+            method=method,
+            distance=distance,
+            exact=not run.exhausted,
+            cached=False,
+            steps=run.steps,
+            relaxations=run.relaxations,
+            work=float(run.meter.work),
+            depth=float(run.meter.depth),
+            path_vertices=path_vertices,
+        )
+        if use_cache:
+            self.results.put(source, target, method, answer)
+        return answer
+
+    def batch(
+        self,
+        queries,
+        *,
+        method: str = "multi",
+        keep_paths: bool = False,
+        **kwargs,
+    ) -> BatchResult:
+        """Answer a batch of (s, t) pairs with pooled engine buffers.
+
+        By default the per-search distance matrices go back to the pool
+        as soon as the distances are extracted, so ``BatchResult.path``
+        is unavailable (``keep_paths=True`` opts out of pooling for
+        this call and retains full path state).  The per-pair answers
+        are folded into the result cache under their single-query method
+        equivalents, so a later ``query(s, t, method='bids')`` hits.
+        """
+        if method not in BATCH_METHODS:
+            raise ValueError(f"unknown batch method {method!r}; options: {BATCH_METHODS}")
+        self.batches += 1
+        if keep_paths:
+            res = solve_batch(self.graph, queries, method=method, **kwargs)
+        else:
+            with self.arena.scope():
+                res = solve_batch(
+                    self.graph, queries, method=method, arena=self.arena, **kwargs
+                )
+                res._path_state = None
+        if res.exact:
+            for (s, t), d in res.distances.items():
+                cached = WarmAnswer(
+                    source=int(s), target=int(t), method="bids",
+                    distance=float(d), exact=True,
+                )
+                self.results.put(int(s), int(t), "bids", cached)
+        return res
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached answer and heuristic row.
+
+        Call this after mutating the bound graph *in place* (weights or
+        topology); pooled buffers are shape-keyed and carry no graph
+        values, so the arena survives invalidation untouched.
+        """
+        self.results.invalidate()
+        self._heuristics.clear()
+        if self.landmarks is not None:
+            self.landmarks.clear_cache()
+
+    def stats(self) -> dict:
+        """Lifetime counters of every warm layer (for dashboards/tests)."""
+        out = {
+            "queries": self.queries,
+            "batches": self.batches,
+            "results": self.results.stats(),
+            "heuristics": self._heuristics.stats(),
+            "arena": self.arena.stats(),
+        }
+        if self.landmarks is not None:
+            out["landmark_cache"] = {
+                "hits": self.landmarks.cache_hits,
+                "misses": self.landmarks.cache_misses,
+            }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WarmEngine(graph={self.graph.name!r}, queries={self.queries}, "
+            f"result_hits={self.results.hits})"
+        )

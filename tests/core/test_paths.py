@@ -65,6 +65,29 @@ class TestWalkPath:
         p = walk_path(g, dist, 0, 2)
         assert p[0] == 0 and p[-1] == 2
 
+    def test_zero_weight_plateau_with_dead_end_pocket(self):
+        """A greedy backward walk can enter the {3, 4} plateau pocket
+        and strand itself; reconstruction must back out of it."""
+        from repro.graphs import build_graph
+
+        g = build_graph(
+            [
+                (0, 1, 1.0),      # the real route: 0 -> 1 -> 2
+                (1, 2, 0.0),
+                (2, 3, 0.0),      # plateau pocket hanging off the target
+                (3, 4, 0.0),
+                (4, 2, 0.0),
+            ]
+        )
+        dist = dijkstra(g, 0)
+        p = walk_path(g, dist, 0, 2)
+        assert p[0] == 0 and p[-1] == 2
+        total = 0.0
+        for u, v in zip(p, p[1:]):
+            nbrs, ws = g.neighbors(u), g.neighbor_weights(u)
+            total += float(ws[nbrs == v].min())
+        assert total == pytest.approx(dist[2])
+
 
 class TestBidirectionalStitch:
     def test_meeting_vertex_on_path(self, small_road):

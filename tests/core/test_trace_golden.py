@@ -1,0 +1,100 @@
+"""Golden StepTrace fixtures: the engine's step sequence is pinned.
+
+Each fixture is the full :meth:`StepTrace.to_json` export of one
+fixed-seed run.  Any change to stepping order, θ selection, pruning, or
+μ maintenance shows up as a diff here before it shows up as a perf or
+correctness surprise.  Regenerate deliberately with::
+
+    UPDATE_TRACE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/core/test_trace_golden.py
+
+and review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro import ppsp
+from repro.core.tracing import StepTrace
+from repro.graphs import road_graph
+
+FIXTURES = Path(__file__).parent / "fixtures"
+UPDATE = os.environ.get("UPDATE_TRACE_GOLDEN") == "1"
+
+# (fixture stem, method, source, target) on the one pinned graph.
+CASES = [
+    ("trace_road8_sssp_0_63", "sssp", 0, 63),
+    ("trace_road8_et_0_63", "et", 0, 63),
+    ("trace_road8_astar_0_63", "astar", 0, 63),
+    ("trace_road8_bids_0_63", "bids", 0, 63),
+    ("trace_road8_bidastar_5_58", "bidastar", 5, 58),
+]
+
+_FLOAT_FIELDS = {"theta", "mu"}
+
+
+def _decoded(value):
+    """Raw JSON summary values may carry the "inf"/"nan" string encoding."""
+    if isinstance(value, str):
+        return float(value)
+    return value
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return road_graph(8, 8, seed=5, name="golden-road")
+
+
+def _run_trace(graph, method: str, s: int, t: int) -> StepTrace:
+    trace = StepTrace()
+    ppsp(graph, s, t, method=method, trace=trace)
+    return trace
+
+
+@pytest.mark.parametrize("stem,method,s,t", CASES, ids=[c[0] for c in CASES])
+def test_trace_matches_golden(graph, stem, method, s, t):
+    path = FIXTURES / f"{stem}.json"
+    trace = _run_trace(graph, method, s, t)
+    if UPDATE:
+        path.write_text(trace.to_json(indent=2) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing fixture {path.name}; run with UPDATE_TRACE_GOLDEN=1"
+    )
+    golden = StepTrace.from_json(path.read_text())
+    assert len(trace) == len(golden), "step count changed"
+    for i, (got, want) in enumerate(zip(trace, golden)):
+        got_d, want_d = got.as_dict(), want.as_dict()
+        assert set(got_d) == set(want_d)
+        for field, want_v in want_d.items():
+            got_v = got_d[field]
+            if field in _FLOAT_FIELDS:
+                assert got_v == pytest.approx(want_v, rel=1e-9, nan_ok=True), (
+                    f"step {i}: {field} {got_v} != {want_v}"
+                )
+            else:
+                assert got_v == want_v, f"step {i}: {field} {got_v} != {want_v}"
+
+
+@pytest.mark.parametrize("stem,method,s,t", CASES, ids=[c[0] for c in CASES])
+def test_summary_matches_golden(graph, stem, method, s, t):
+    path = FIXTURES / f"{stem}.json"
+    if not path.exists():
+        pytest.skip("fixture not generated yet")
+    want = json.loads(path.read_text())["summary"]
+    got = json.loads(_run_trace(graph, method, s, t).to_json())["summary"]
+    for key in ("steps", "peak_frontier", "total_pruned", "mu_settled_step"):
+        assert got[key] == want[key], key
+    assert _decoded(got["final_mu"]) == pytest.approx(
+        _decoded(want["final_mu"]), nan_ok=True
+    )
+
+
+def test_roundtrip_is_lossless(graph):
+    trace = _run_trace(graph, "bids", 0, 63)
+    back = StepTrace.from_json(trace.to_json())
+    assert [r.as_dict() for r in back] == [r.as_dict() for r in trace]

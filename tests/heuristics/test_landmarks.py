@@ -145,3 +145,57 @@ class TestALTWithAStar:
             total_et += et.relaxations
             total_alt += alt.relaxations
         assert total_alt < total_et
+
+
+class TestHeuristicRowCache:
+    def test_same_target_returns_cached_instance(self, small_social):
+        ls = LandmarkSet(small_social, k=4)
+        h1 = ls.heuristic_to(7)
+        h2 = ls.heuristic_to(7)
+        assert h2 is h1
+        assert ls.cache_hits == 1 and ls.cache_misses == 1
+
+    def test_cache_false_builds_fresh(self, small_social):
+        ls = LandmarkSet(small_social, k=4)
+        h1 = ls.heuristic_to(7)
+        h2 = ls.heuristic_to(7, cache=False)
+        assert h2 is not h1
+        assert ls.cache_hits == 0  # bypass does not touch the counters
+
+    def test_clear_cache_forces_rebuild(self, small_social):
+        ls = LandmarkSet(small_social, k=4)
+        h1 = ls.heuristic_to(7)
+        ls.clear_cache()
+        assert ls.heuristic_to(7) is not h1
+
+    def test_lru_bound_respected(self, small_social):
+        ls = LandmarkSet(small_social, k=3, max_cached_targets=2)
+        ls.heuristic_to(1)
+        ls.heuristic_to(2)
+        ls.heuristic_to(3)  # evicts target 1
+        assert len(ls._h_cache) == 2
+        before = ls.cache_misses
+        ls.heuristic_to(1)
+        assert ls.cache_misses == before + 1
+
+    def test_zero_bound_disables_cache(self, small_social):
+        ls = LandmarkSet(small_social, k=3, max_cached_targets=0)
+        assert ls.heuristic_to(1) is not ls.heuristic_to(1)
+        assert len(ls._h_cache) == 0
+
+    def test_cached_rows_memoize_evaluations(self, small_social):
+        """The cached wrapper keeps its memo table across queries."""
+        ls = LandmarkSet(small_social, k=4)
+        h = ls.heuristic_to(9)
+        h(np.arange(50))
+        evaluated = h.evaluated
+        again = ls.heuristic_to(9)
+        again(np.arange(50))  # same vertices: all memo hits
+        assert again.evaluated == evaluated
+
+    def test_cached_values_match_fresh(self, small_social):
+        ls = LandmarkSet(small_social, k=4)
+        v = np.arange(small_social.num_vertices)
+        cached = ls.heuristic_to(11)(v)
+        fresh = ls.heuristic_to(11, cache=False)(v)
+        np.testing.assert_allclose(cached, fresh)

@@ -1,0 +1,126 @@
+"""BufferArena: pooling, counters, scopes, and view-release semantics."""
+
+import numpy as np
+import pytest
+
+from repro.perf import BufferArena
+
+
+class TestAcquireRelease:
+    def test_fresh_allocation_counts(self):
+        arena = BufferArena()
+        a = arena.acquire(16)
+        assert a.shape == (16,) and a.dtype == np.float64
+        assert arena.allocations == 1 and arena.reuses == 0
+        assert arena.leased == 1 and arena.pooled == 0
+
+    def test_release_then_reacquire_reuses_same_buffer(self):
+        arena = BufferArena()
+        a = arena.acquire(16)
+        assert arena.release(a)
+        b = arena.acquire(16)
+        assert b is a
+        assert arena.allocations == 1 and arena.reuses == 1
+
+    def test_shape_and_dtype_key_separately(self):
+        arena = BufferArena()
+        a = arena.acquire(16, np.float64)
+        b = arena.acquire(16, bool)
+        c = arena.acquire((4, 4), np.float64)
+        assert arena.allocations == 3
+        for arr in (a, b, c):
+            arena.release(arr)
+        assert arena.acquire(16, bool) is b
+        assert arena.acquire((4, 4)) is c
+
+    def test_fill_resets_recycled_buffer(self):
+        arena = BufferArena()
+        a = arena.acquire(8, fill=np.inf)
+        a[:] = 3.0
+        arena.release(a)
+        b = arena.acquire(8, fill=np.inf)
+        assert np.isinf(b).all()
+
+    def test_no_fill_leaves_stale_values(self):
+        """Recycled buffers are np.empty-like: callers own initialization."""
+        arena = BufferArena()
+        a = arena.acquire(8)
+        a[:] = 7.0
+        arena.release(a)
+        b = arena.acquire(8)
+        assert (b == 7.0).all()
+
+    def test_release_of_view_returns_base(self):
+        """RunResult.dist is a (k, n) view of the flat arena buffer."""
+        arena = BufferArena()
+        flat = arena.acquire(12)
+        view = flat.reshape(3, 4)
+        assert arena.release(view)
+        assert arena.pooled == 1 and arena.leased == 0
+        assert arena.acquire(12) is flat
+
+    def test_double_release_is_noop(self):
+        arena = BufferArena()
+        a = arena.acquire(4)
+        assert arena.release(a)
+        assert not arena.release(a)
+        assert arena.pooled == 1 and arena.releases == 1
+
+    def test_release_of_foreign_array_is_noop(self):
+        arena = BufferArena()
+        assert not arena.release(np.zeros(4))
+        assert not arena.release(None)
+        assert arena.pooled == 0
+
+
+class TestScope:
+    def test_scope_releases_everything(self):
+        arena = BufferArena()
+        with arena.scope():
+            arena.acquire(8)
+            arena.acquire(8, bool)
+            assert arena.leased == 2
+        assert arena.leased == 0 and arena.pooled == 2
+
+    def test_manual_release_inside_scope_composes(self):
+        arena = BufferArena()
+        with arena.scope():
+            a = arena.acquire(8)
+            arena.release(a)
+        assert arena.releases == 1  # not double-counted at scope exit
+        assert arena.pooled == 1
+
+    def test_scope_releases_on_exception(self):
+        arena = BufferArena()
+        with pytest.raises(RuntimeError):
+            with arena.scope():
+                arena.acquire(8)
+                raise RuntimeError("boom")
+        assert arena.leased == 0 and arena.pooled == 1
+
+    def test_nested_scopes(self):
+        arena = BufferArena()
+        with arena.scope():
+            arena.acquire(4)
+            with arena.scope():
+                arena.acquire(8)
+            assert arena.leased == 1  # inner released, outer still out
+        assert arena.leased == 0 and arena.pooled == 2
+
+
+class TestMaintenance:
+    def test_trim_drops_pooled_only(self):
+        arena = BufferArena()
+        kept = arena.acquire(4)
+        arena.release(arena.acquire(8))
+        assert arena.trim() == 1
+        assert arena.pooled == 0 and arena.leased == 1
+        assert arena.release(kept)  # lease unaffected by trim
+
+    def test_stats_shape(self):
+        arena = BufferArena()
+        arena.release(arena.acquire(10))
+        s = arena.stats()
+        assert s["allocations"] == 1 and s["releases"] == 1
+        assert s["pooled"] == 1 and s["leased"] == 0
+        assert s["pooled_bytes"] == 80

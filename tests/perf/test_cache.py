@@ -1,0 +1,69 @@
+"""LRUCache / ResultCache: eviction order, counters, invalidation."""
+
+from repro.perf import LRUCache, ResultCache
+from repro.perf.warm import WarmAnswer
+
+
+class TestLRUCache:
+    def test_basic_get_put(self):
+        c = LRUCache(4)
+        assert c.get("a") is None
+        c.put("a", 1)
+        assert c.get("a") == 1
+        assert c.hits == 1 and c.misses == 1
+
+    def test_eviction_is_least_recently_used(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # refresh a; b becomes LRU
+        c.put("c", 3)
+        assert "b" not in c and "a" in c and "c" in c
+        assert c.evictions == 1
+
+    def test_put_refreshes_existing_key(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)  # refresh + overwrite
+        c.put("c", 3)
+        assert c.get("a") == 10 and "b" not in c
+
+    def test_zero_maxsize_disables(self):
+        c = LRUCache(0)
+        c.put("a", 1)
+        assert len(c) == 0 and c.get("a") is None
+
+    def test_clear_keeps_counters(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        c.get("a")
+        c.clear()
+        assert len(c) == 0 and c.hits == 1
+
+
+class TestResultCache:
+    def _answer(self, s, t, d=1.0):
+        return WarmAnswer(source=s, target=t, method="bids", distance=d)
+
+    def test_numpy_and_python_ints_share_keys(self):
+        import numpy as np
+
+        rc = ResultCache(8)
+        rc.put(np.int64(3), np.int32(5), "bids", self._answer(3, 5))
+        assert rc.get(3, 5, "bids") is not None
+
+    def test_method_is_part_of_key(self):
+        rc = ResultCache(8)
+        rc.put(1, 2, "bids", self._answer(1, 2))
+        assert rc.get(1, 2, "et") is None
+        assert rc.get(1, 2, "bids") is not None
+
+    def test_invalidate_empties_but_keeps_counters(self):
+        rc = ResultCache(8)
+        rc.put(1, 2, "bids", self._answer(1, 2))
+        rc.get(1, 2, "bids")
+        rc.invalidate()
+        assert len(rc) == 0
+        assert rc.hits == 1
+        assert rc.get(1, 2, "bids") is None

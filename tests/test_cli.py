@@ -129,3 +129,55 @@ class TestQueryTrace:
         assert payload["trace_summary"]["steps"] > 0
         # The step table goes to stderr, keeping stdout valid JSON.
         assert "theta" in captured.err
+
+
+class TestTraceCommand:
+    def test_json_export_parses_and_matches_steps(self, road_file, capsys):
+        rc = main(["trace", "--graph", road_file, "--source", "0",
+                   "--target", "70", "--method", "bids", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["query"]["distance"] > 0
+        assert payload["summary"]["steps"] == len(payload["records"])
+        first = payload["records"][0]
+        assert {"step", "theta", "frontier_size", "mu"} <= set(first)
+
+    def test_json_roundtrips_through_steptrace(self, road_file, capsys):
+        from repro.core.tracing import StepTrace
+
+        main(["trace", "--graph", road_file, "--source", "0",
+              "--target", "70", "--method", "sssp", "--json"])
+        out = capsys.readouterr().out
+        trace = StepTrace.from_json(out)
+        assert len(trace) == json.loads(out)["summary"]["steps"]
+
+    def test_table_output(self, road_file, capsys):
+        rc = main(["trace", "--graph", road_file, "--source", "0",
+                   "--target", "70", "--method", "et", "--max-rows", "5"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "theta" in captured.out
+        assert json.loads(captured.err)["steps"] > 0
+
+
+class TestBenchCommand:
+    def test_tiny_workload_emits_snapshot(self, tmp_path, capsys):
+        rc = main(["bench", "--scale", "tiny", "--dir", str(tmp_path)])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["gates"]["pass"] is True
+        assert summary["comparison"]["status"] == "no-baseline"
+        emitted = tmp_path / "BENCH_2.json"
+        assert emitted.exists()
+        payload = json.loads(emitted.read_text())
+        assert payload["kind"] == "repro-bench"
+        assert set(payload["single"]) == {"knn", "road"}
+
+    def test_check_gates_against_previous_snapshot(self, tmp_path, capsys):
+        assert main(["bench", "--scale", "tiny", "--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        rc = main(["bench", "--scale", "tiny", "--dir", str(tmp_path), "--check"])
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["comparison"]["baseline_file"] == "BENCH_2.json"
+        assert summary["comparison"]["status"] == "ok"
+        assert rc == 0

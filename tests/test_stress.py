@@ -16,6 +16,9 @@ from repro.core.query_graph import QueryGraph
 from repro.core.stepping import BellmanFord, DeltaStepping
 from repro.graphs import build_graph, from_edges, road_graph, social_graph
 
+# Nightly suite: excluded from tier-1 by the default `-m` filter.
+pytestmark = pytest.mark.slow
+
 
 class TestPartialRunInvariants:
     """Even a truncated run must only hold admissible distances."""
