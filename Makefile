@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-slow chaos bench reproduce reproduce-tiny report examples clean
+.PHONY: install test test-slow chaos bench stats reproduce reproduce-tiny report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,11 @@ test-slow:
 bench:
 	$(PYTHON) -m repro bench --scale small --check
 	$(PYTHON) -m pytest benchmarks/ -m bench --benchmark-only
+
+# Seeded observability workload: text exposition of every metric family
+# (see docs/observability.md for the catalogue).
+stats:
+	$(PYTHON) -m repro stats
 
 # Regenerate every paper artifact (Tab. 3/4, Fig. 1/4-7) + extensions.
 reproduce:

@@ -46,7 +46,7 @@ from .robustness import (
     resilient_ppsp,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ppsp",

@@ -8,7 +8,10 @@ entry point):
 * ``trace``    — a query's full per-step engine trace (table or JSON);
 * ``bench``    — the benchmark-regression harness (emits ``BENCH_<i>.json``);
 * ``generate`` — build a suite-style synthetic graph and save it;
-* ``info``     — Tab.-3-style statistics of a saved graph.
+* ``info``     — Tab.-3-style statistics of a saved graph, plus a probe
+  query reporting the run's work/depth and μ-settlement;
+* ``stats``    — run the seeded observability workload and print the
+  metrics snapshot (Prometheus text or schema-checked JSON).
 
 Graphs are read/written in the formats of :mod:`repro.graphs.io`
 (``.npz`` preferred; ``.gr`` DIMACS and plain edge lists accepted).
@@ -70,7 +73,7 @@ def _parse_budget(spec: str | None):
 def _cmd_query(args) -> int:
     graph = _load_graph(args.graph)
     trace = None
-    if args.trace:
+    if args.trace or args.verbose:
         from .core.tracing import StepTrace
 
         trace = StepTrace()
@@ -110,14 +113,21 @@ def _cmd_query(args) -> int:
         "steps": ans.run.steps,
         "relaxations": ans.run.relaxations,
     }
+    if args.verbose:
+        # Costs of the run just executed (work/depth in the paper's
+        # cost model; mu-settlement from the attached trace).
+        settled = trace.mu_settled_step()
+        payload["work"] = float(ans.run.meter.work)
+        payload["depth"] = float(ans.run.meter.depth)
+        payload["mu_settled_step"] = None if settled is None else int(settled)
     if ans.budget_report is not None:
         payload["budget"] = ans.budget_report.to_dict()
     if args.path and ans.reachable:
         payload["path"] = ans.path()
-    if trace is not None:
+    if args.trace:
         payload["trace_summary"] = trace.summary()
     print(json.dumps(payload, indent=2))
-    if trace is not None:
+    if args.trace:
         print(trace.render(), file=sys.stderr)
     return 0
 
@@ -233,20 +243,60 @@ def _cmd_info(args) -> int:
         g = _load_graph(args.graph)
     lcc = largest_component(g)
     problems = validate_graph(g)
-    print(json.dumps(
-        {
-            "name": g.name,
-            "directed": g.directed,
-            "n": g.num_vertices,
-            "m": g.num_edges,
-            "coord_system": g.coord_system,
-            "diameter_estimate": approximate_diameter(g),
-            "lcc_percent": round(100.0 * len(lcc) / max(g.num_vertices, 1), 2),
-            "problems": problems,
-        },
-        indent=2,
-    ))
+    payload = {
+        "name": g.name,
+        "directed": g.directed,
+        "n": g.num_vertices,
+        "m": g.num_edges,
+        "coord_system": g.coord_system,
+        "diameter_estimate": approximate_diameter(g),
+        "lcc_percent": round(100.0 * len(lcc) / max(g.num_vertices, 1), 2),
+        "problems": problems,
+    }
+    if not problems and len(lcc) >= 2:
+        # One BiDS probe across the largest component: reports the
+        # work/depth and mu-settlement of the run just executed, so
+        # "how hard is a query on this graph" ships with the stats.
+        from .core.tracing import StepTrace
+
+        s, t = int(lcc[0]), int(lcc[-1])
+        trace = StepTrace()
+        ans = ppsp(g, s, t, method="bids", trace=trace)
+        settled = trace.mu_settled_step()
+        payload["probe"] = {
+            "source": s,
+            "target": t,
+            "method": "bids",
+            "distance": ans.distance if ans.reachable else None,
+            "work": float(ans.run.meter.work),
+            "depth": float(ans.run.meter.depth),
+            "steps": ans.run.steps,
+            "mu_settled_step": None if settled is None else int(settled),
+        }
+    print(json.dumps(payload, indent=2))
     return 0 if not problems else 1
+
+
+def _cmd_stats(args) -> int:
+    """Run the seeded observability workload, print the snapshot."""
+    from .obs.exposition import validate_snapshot
+    from .obs.workload import stats_workload
+
+    graph = _load_graph(args.graph) if args.graph else None
+    obs = stats_workload(graph, num_pairs=args.pairs, seed=args.seed)
+    if args.format == "text":
+        out = obs.export_text()
+    else:
+        payload = obs.export_json(include_spans=not args.no_spans)
+        validate_snapshot(payload)
+        out = json.dumps(payload, indent=2) + "\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(out)
+        print(f"wrote {args.format} snapshot to {args.output}")
+    else:
+        print(out, end="")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -270,6 +320,9 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--resilient", action="store_true",
                    help="run the bidastar->bids->et->dijkstra fallback chain "
                         "instead of a single method")
+    q.add_argument("--verbose", action="store_true",
+                   help="include work/depth and the mu-settlement step of "
+                        "the run just executed")
     q.set_defaults(func=_cmd_query)
 
     b = sub.add_parser("batch", help="a batch of queries")
@@ -324,6 +377,24 @@ def build_parser() -> argparse.ArgumentParser:
     i = sub.add_parser("info", help="statistics of a saved graph")
     i.add_argument("--graph", required=True)
     i.set_defaults(func=_cmd_info)
+
+    s = sub.add_parser(
+        "stats",
+        help="observability snapshot of the seeded workload "
+             "(Prometheus text or JSON)",
+    )
+    s.add_argument("--graph",
+                   help="graph to run the workload on "
+                        "(default: the built-in seeded road grid)")
+    s.add_argument("--pairs", type=int, default=3,
+                   help="query pairs per method (seeded)")
+    s.add_argument("--seed", type=int, default=1729,
+                   help="seed for pair selection")
+    s.add_argument("--format", default="text", choices=("text", "json"))
+    s.add_argument("--output", help="write the snapshot here instead of stdout")
+    s.add_argument("--no-spans", action="store_true",
+                   help="omit per-query span records from the JSON snapshot")
+    s.set_defaults(func=_cmd_stats)
     return parser
 
 

@@ -127,6 +127,7 @@ def solve_batch(
     max_sources: int | None = None,
     budget=None,
     arena=None,
+    observer=None,
     **engine_kwargs,
 ) -> BatchResult:
     """Answer a batch of PPSP queries.
@@ -156,6 +157,10 @@ def solve_batch(
     The buffers stay leased because ``BatchResult`` path state views
     them; releasing is the caller's job
     (:meth:`repro.perf.WarmEngine.batch` scopes this automatically).
+
+    ``observer`` (a :class:`repro.obs.Observer`) is threaded into every
+    engine run this batch launches and receives one ``on_batch``
+    notification for the combined result.
     """
     if method not in BATCH_METHODS:
         raise ValueError(f"unknown batch method {method!r}; options: {BATCH_METHODS}")
@@ -184,6 +189,8 @@ def solve_batch(
         engine_kwargs = {**engine_kwargs, "budget": bmeter}
     if arena is not None:
         engine_kwargs = {**engine_kwargs, "arena": arena}
+    if observer is not None:
+        engine_kwargs = {**engine_kwargs, "observer": observer}
 
     if method == "multi":
         if max_sources is not None and qg.num_vertices > max_sources:
@@ -208,6 +215,8 @@ def solve_batch(
         res.details["budget_report"] = report
         if report.exhausted:
             res.exact = False
+    if observer is not None:
+        observer.on_batch(method, res)
     return res
 
 

@@ -111,6 +111,13 @@ class PPSPEngine:
         leased inside the returned :class:`RunResult` (``result.dist``
         is a view of it) and it is the *caller's* job to release it —
         :class:`~repro.perf.warm.WarmEngine` scopes this automatically.
+    observer : Observer or None
+        Observability hook (:mod:`repro.obs`), duck-typed like the
+        robustness hooks so the core stays import-free of repro.obs.
+        When set, every run is traced (the observer supplies a
+        :class:`~repro.core.tracing.StepTrace` if the caller didn't)
+        and folded into the observer's metrics and current span at run
+        end.  ``None`` — the default — costs one ``is None`` test.
     """
 
     def __init__(
@@ -125,6 +132,7 @@ class PPSPEngine:
         auditor=None,
         fault_injector=None,
         arena=None,
+        observer=None,
     ) -> None:
         self.graph = graph
         self.strategy = strategy if strategy is not None else default_strategy(graph)
@@ -135,6 +143,7 @@ class PPSPEngine:
         self.auditor = auditor
         self.fault_injector = fault_injector
         self.arena = arena
+        self.observer = observer
 
     # ------------------------------------------------------------------
     def run(
@@ -143,13 +152,19 @@ class PPSPEngine:
         *,
         meter: WorkDepthMeter | None = None,
         trace=None,
+        budget=None,
     ) -> RunResult:
         """Execute Alg. 2 with ``policy`` until the frontier drains.
 
         ``trace`` (a :class:`~repro.core.tracing.StepTrace`) receives a
         per-step record of θ, frontier sizes, prune counts, and μ.
+        ``budget`` overrides the engine-level budget for this run only
+        (a Budget spec or a live BudgetMeter, same duck-typing).
         """
         graph = self.graph
+        observer = self.observer
+        if observer is not None:
+            trace = observer.begin_run(policy, trace)
         n = graph.num_vertices
         k = policy.num_sources
         if self.arena is not None:
@@ -164,7 +179,9 @@ class PPSPEngine:
         dist[seeds] = np.asarray(seed_vals, dtype=np.float64)
         policy.on_relax(seeds, dist)
 
-        frontier = Frontier(k * n, mode=self.frontier_mode, arena=self.arena)
+        frontier = Frontier(
+            k * n, mode=self.frontier_mode, arena=self.arena, observer=observer
+        )
         frontier.add(seeds)
 
         # Robustness hooks are duck-typed so the core stays import-free
@@ -172,7 +189,7 @@ class PPSPEngine:
         # meter; a live BudgetMeter is charged in place (shared budgets).
         injector = self.fault_injector
         auditor = self.auditor
-        bmeter = self.budget
+        bmeter = budget if budget is not None else self.budget
         if bmeter is not None and not hasattr(bmeter, "charge"):
             bmeter = bmeter.start()
         if injector is not None:
@@ -291,7 +308,7 @@ class PPSPEngine:
         # Dense frontier masks go straight back to the pool; the dist
         # buffer stays leased because RunResult.dist views it.
         frontier.dispose()
-        return RunResult(
+        result = RunResult(
             answer=policy.result(),
             dist=dist.reshape(k, n),
             meter=meter,
@@ -302,6 +319,9 @@ class PPSPEngine:
             exhausted=exhausted_reason is not None,
             budget_report=bmeter.report() if bmeter is not None else None,
         )
+        if observer is not None:
+            observer.end_run(result, trace)
+        return result
 
     # ------------------------------------------------------------------
     def _relax_batch(
@@ -401,6 +421,7 @@ def run_policy(
     auditor=None,
     fault_injector=None,
     arena=None,
+    observer=None,
     trace=None,
 ) -> RunResult:
     """One-shot convenience wrapper around :class:`PPSPEngine`."""
@@ -414,5 +435,6 @@ def run_policy(
         auditor=auditor,
         fault_injector=fault_injector,
         arena=arena,
+        observer=observer,
     )
     return engine.run(policy, meter=meter, trace=trace)

@@ -29,12 +29,15 @@ class Frontier:
     #: ... and back to sparse below this fraction (hysteresis).
     SPARSE_FRACTION = 0.02
 
-    def __init__(self, capacity: int, mode: str = "auto", *, arena=None) -> None:
+    def __init__(
+        self, capacity: int, mode: str = "auto", *, arena=None, observer=None
+    ) -> None:
         if mode not in ("auto", "sparse", "dense"):
             raise ValueError(f"unknown frontier mode {mode!r}")
         self.capacity = int(capacity)
         self.mode = mode
         self._arena = arena
+        self._observer = observer
         self._sparse: np.ndarray = np.empty(0, dtype=np.int64)
         self._dense: np.ndarray | None = None
         self._use_dense = mode == "dense"
@@ -134,7 +137,11 @@ class Frontier:
             self._dense = dense
             self._sparse = np.empty(0, dtype=np.int64)
             self._use_dense = True
+            if self._observer is not None:
+                self._observer.on_frontier_switch(True, size)
         elif self._use_dense and size < self.SPARSE_FRACTION * self.capacity:
             self._sparse = np.flatnonzero(self._dense)
             self._drop_dense()
             self._use_dense = False
+            if self._observer is not None:
+                self._observer.on_frontier_switch(False, size)

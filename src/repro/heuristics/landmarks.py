@@ -55,6 +55,11 @@ class LandmarkSet:
     max_cached_targets : int
         Size of the per-target heuristic row cache (see
         :meth:`heuristic_to`).  ``0`` disables caching.
+    observer : repro.obs.Observer, optional
+        Receives ``on_cache("landmark_h_row", ...)`` events for hits and
+        misses of the per-target row cache.  Assignable after
+        construction (:class:`~repro.perf.warm.WarmEngine` attaches its
+        own observer to a landmark set handed to it).
     """
 
     def __init__(
@@ -65,6 +70,7 @@ class LandmarkSet:
         method: str = "farthest",
         seed: int = 0,
         max_cached_targets: int = 64,
+        observer=None,
     ) -> None:
         if graph.directed:
             raise ValueError("LandmarkSet supports undirected graphs only")
@@ -82,6 +88,7 @@ class LandmarkSet:
         else:
             self.landmarks, self.dist = select_landmarks_farthest(graph, k, seed=seed)
         self.max_cached_targets = int(max_cached_targets)
+        self.observer = observer
         self._h_cache: OrderedDict[int, Heuristic] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
@@ -122,14 +129,20 @@ class LandmarkSet:
         if cached is not None:
             self.cache_hits += 1
             self._h_cache.move_to_end(target)
+            if self.observer is not None:
+                self.observer.on_cache("landmark_h_row", "hit")
             return cached
         self.cache_misses += 1
+        if self.observer is not None:
+            self.observer.on_cache("landmark_h_row", "miss")
         h: Heuristic = MemoizedHeuristic(
             LandmarkHeuristic(self, target), self.graph.num_vertices
         )
         self._h_cache[target] = h
         while len(self._h_cache) > self.max_cached_targets:
             self._h_cache.popitem(last=False)
+            if self.observer is not None:
+                self.observer.on_cache("landmark_h_row", "evict")
         return h
 
     def clear_cache(self) -> None:

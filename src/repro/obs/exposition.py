@@ -1,0 +1,197 @@
+"""Exposition formats: Prometheus text and a schema-checked JSON snapshot.
+
+Two renderings of one :class:`~repro.obs.registry.MetricsRegistry`:
+
+* :func:`render_prometheus` — the Prometheus text format (``# HELP`` /
+  ``# TYPE`` headers, ``name{label="v"} value`` samples, cumulative
+  ``_bucket{le=...}`` histograms), scrape-ready and also the format the
+  ``repro stats`` golden test pins;
+* :func:`render_json` — a structured snapshot ``{"schema", "kind",
+  "metrics", "spans"}`` validated in-tree by :func:`validate_snapshot`
+  (a dependency-free structural check the ``obs-smoke`` CI job runs
+  against the live CLI output).
+
+Both renderings are deterministic: families in name order, children in
+sorted label order, integral values printed without a fractional part.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "render_prometheus",
+    "render_json",
+    "validate_snapshot",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SNAPSHOT_KIND",
+]
+
+SNAPSHOT_SCHEMA_VERSION = 1
+SNAPSHOT_KIND = "repro-obs-snapshot"
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-style number: ints bare, floats via repr, inf as +Inf."""
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_str(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in merged.items())
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.type_name}")
+        if isinstance(metric, Histogram):
+            for labels, child in metric.samples():
+                running = 0
+                for bound, c in zip(metric.buckets, child.counts):
+                    running += c
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_labels_str(labels, {'le': _fmt(float(bound))})} {running}"
+                    )
+                total = running + child.counts[-1]
+                lines.append(
+                    f"{metric.name}_bucket{_labels_str(labels, {'le': '+Inf'})} {total}"
+                )
+                lines.append(f"{metric.name}_sum{_labels_str(labels)} {_fmt(child.sum)}")
+                lines.append(f"{metric.name}_count{_labels_str(labels)} {total}")
+        else:
+            for labels, child in metric.samples():
+                lines.append(f"{metric.name}{_labels_str(labels)} {_fmt(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(registry: MetricsRegistry, *, spans=None) -> dict:
+    """The registry (and optionally spans) as a JSON-safe snapshot."""
+    from .span import _encode  # shared non-finite float encoding
+
+    metrics = []
+    for metric in registry.collect():
+        entry: dict = {
+            "name": metric.name,
+            "type": metric.type_name,
+            "help": metric.help,
+            "samples": [],
+        }
+        if isinstance(metric, Histogram):
+            for labels, _child in metric.samples():
+                snap = metric.snapshot(**labels)
+                entry["samples"].append({
+                    "labels": labels,
+                    "buckets": [
+                        {"le": _encode(b["le"]), "count": b["count"]}
+                        for b in snap["buckets"]
+                    ],
+                    "sum": _encode(snap["sum"]),
+                    "count": snap["count"],
+                })
+        else:
+            for labels, child in metric.samples():
+                entry["samples"].append({"labels": labels, "value": _encode(child.value)})
+        metrics.append(entry)
+    payload = {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "kind": SNAPSHOT_KIND,
+        "metrics": metrics,
+    }
+    if spans is not None:
+        payload["spans"] = [_encode(s.to_dict()) for s in spans]
+    return payload
+
+
+def validate_snapshot(payload: dict) -> None:
+    """Structural check of a :func:`render_json` snapshot.
+
+    Raises ``ValueError`` naming the first problem; returns ``None`` on
+    success.  Dependency-free on purpose — this is what the
+    ``obs-smoke`` CI job runs against live ``repro stats`` output, so it
+    must work in the minimal container.
+    """
+    def fail(msg: str):
+        raise ValueError(f"invalid obs snapshot: {msg}")
+
+    if not isinstance(payload, dict):
+        fail(f"expected a dict, got {type(payload).__name__}")
+    if payload.get("schema") != SNAPSHOT_SCHEMA_VERSION:
+        fail(f"schema must be {SNAPSHOT_SCHEMA_VERSION}, got {payload.get('schema')!r}")
+    if payload.get("kind") != SNAPSHOT_KIND:
+        fail(f"kind must be {SNAPSHOT_KIND!r}, got {payload.get('kind')!r}")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, list):
+        fail("metrics must be a list")
+    seen: set[str] = set()
+    for i, m in enumerate(metrics):
+        where = f"metrics[{i}]"
+        if not isinstance(m, dict):
+            fail(f"{where} must be a dict")
+        name = m.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}.name must be a non-empty string")
+        if name in seen:
+            fail(f"duplicate metric name {name!r}")
+        seen.add(name)
+        mtype = m.get("type")
+        if mtype not in ("counter", "gauge", "histogram"):
+            fail(f"{where} ({name}): unknown type {mtype!r}")
+        samples = m.get("samples")
+        if not isinstance(samples, list):
+            fail(f"{where} ({name}): samples must be a list")
+        for j, s in enumerate(samples):
+            swhere = f"{where}.samples[{j}]"
+            if not isinstance(s, dict):
+                fail(f"{swhere} must be a dict")
+            if not isinstance(s.get("labels"), dict):
+                fail(f"{swhere} ({name}): labels must be a dict")
+            if mtype == "histogram":
+                buckets = s.get("buckets")
+                if not isinstance(buckets, list) or not buckets:
+                    fail(f"{swhere} ({name}): histogram needs a buckets list")
+                counts = [b.get("count") for b in buckets]
+                if any(not isinstance(c, int) or c < 0 for c in counts):
+                    fail(f"{swhere} ({name}): bucket counts must be ints >= 0")
+                if any(c2 < c1 for c1, c2 in zip(counts, counts[1:])):
+                    fail(f"{swhere} ({name}): bucket counts must be cumulative")
+                if buckets[-1].get("le") != "inf":
+                    fail(f"{swhere} ({name}): last bucket must be le=inf")
+                if not isinstance(s.get("count"), int):
+                    fail(f"{swhere} ({name}): count must be an int")
+                if "sum" not in s:
+                    fail(f"{swhere} ({name}): missing sum")
+            else:
+                if "value" not in s:
+                    fail(f"{swhere} ({name}): missing value")
+    spans = payload.get("spans")
+    if spans is not None:
+        if not isinstance(spans, list):
+            fail("spans must be a list when present")
+        for i, sp in enumerate(spans):
+            if not isinstance(sp, dict):
+                fail(f"spans[{i}] must be a dict")
+            for key in ("method", "runs", "work", "depth", "steps", "pruned",
+                        "cache", "budget", "wall_seconds"):
+                if key not in sp:
+                    fail(f"spans[{i}] missing field {key!r}")
+            cache = sp["cache"]
+            if not isinstance(cache, dict) or not {"hits", "misses"} <= set(cache):
+                fail(f"spans[{i}].cache must carry hits/misses")

@@ -1,0 +1,228 @@
+"""The Observer: the single, default-off hook the hot paths report to.
+
+Instrumented call sites (:class:`~repro.core.engine.PPSPEngine`,
+:class:`~repro.core.frontier.Frontier`,
+:func:`~repro.core.batch.solve_batch`,
+:class:`~repro.perf.warm.WarmEngine`,
+:func:`~repro.robustness.resilient.resilient_ppsp`,
+:class:`~repro.heuristics.landmarks.LandmarkSet`) all take an optional
+``observer``; when it is ``None`` — the default everywhere — the only
+cost is the ``is not None`` test, so production paths that do not opt in
+pay nothing (the overhead-guard test pins this: zero new allocations,
+identical deterministic counters).
+
+With an observer installed, every run/cache/fallback event updates two
+sinks at once:
+
+* the **metrics registry** — process-lifetime counters/histograms in
+  the catalogue of ``docs/observability.md``, exported via
+  :func:`~repro.obs.exposition.render_prometheus` /
+  :func:`~repro.obs.exposition.render_json`;
+* the **current span**, if one is open — the per-query record
+  (:class:`~repro.obs.span.QuerySpan`) wrapping one PPSP or batch
+  execution::
+
+      obs = Observer()
+      with obs.span("bidastar", source=s, target=t) as span:
+          engine.query(s, t, method="bidastar")
+      span.to_json()   # work, depth, steps, pruned, mu-settled, caches...
+
+Engine runs under an observer always carry a
+:class:`~repro.core.tracing.StepTrace` (the observer supplies one when
+the caller didn't), which is where per-step prune counts and the
+μ-settlement step come from — the pay-for-use part of the contract.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from ..core.tracing import StepTrace
+from .registry import DEFAULT_BUCKETS, TIME_BUCKETS, MetricsRegistry
+from .span import QuerySpan
+
+__all__ = ["Observer", "policy_label"]
+
+#: policy class name -> the public method label used on metrics.
+_POLICY_LABELS = {
+    "SsspPolicy": "sssp",
+    "EarlyTermination": "et",
+    "AStar": "astar",
+    "BiDS": "bids",
+    "BiDAStar": "bidastar",
+    "MultiPPSP": "multi",
+}
+
+
+def policy_label(policy) -> str:
+    """The metrics label of a policy instance (``bids``, ``multi``, ...)."""
+    return _POLICY_LABELS.get(type(policy).__name__, type(policy).__name__.lower())
+
+
+class Observer:
+    """Aggregates engine/cache/fallback events into metrics and spans.
+
+    Parameters
+    ----------
+    registry : MetricsRegistry, optional
+        Share one registry between several observers (e.g. per-tenant
+        observers over one process-wide exposition endpoint); defaults
+        to a private registry.
+    max_spans : int
+        Completed spans retained in :attr:`spans` (oldest dropped
+        first); metrics are unaffected by this bound.
+    """
+
+    def __init__(self, *, registry: MetricsRegistry | None = None, max_spans: int = 256) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.max_spans = int(max_spans)
+        self.spans: list[QuerySpan] = []
+        self._span: QuerySpan | None = None
+        r = self.registry
+        self._runs = r.counter(
+            "repro_runs_total", "Engine runs completed", ("policy",))
+        self._steps = r.counter(
+            "repro_steps_total", "Engine steps (rounds of Alg. 2) executed", ("policy",))
+        self._relaxations = r.counter(
+            "repro_relaxations_total", "Edge relaxations performed", ("policy",))
+        self._pruned = r.counter(
+            "repro_pruned_total", "Frontier elements pruned (Prune of Alg. 2)", ("policy",))
+        self._work_hist = r.histogram(
+            "repro_run_work", "Work (unit operations) per engine run", ("policy",),
+            buckets=DEFAULT_BUCKETS)
+        self._depth_hist = r.histogram(
+            "repro_run_depth", "Depth (critical path) per engine run", ("policy",),
+            buckets=DEFAULT_BUCKETS)
+        self._mu_settled = r.histogram(
+            "repro_mu_settled_fraction",
+            "mu-settlement step as a fraction of total steps (settle early = small)",
+            ("policy",),
+            buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0))
+        self._frontier_peak = r.histogram(
+            "repro_frontier_peak", "Peak frontier size per traced run", ("policy",),
+            buckets=DEFAULT_BUCKETS)
+        self._frontier_switches = r.counter(
+            "repro_frontier_switches_total",
+            "Sparse<->dense frontier representation switches (App. B)", ("to",))
+        self._cache_events = r.counter(
+            "repro_cache_events_total",
+            "Warm-layer cache traffic (result / heuristic / landmark_h_row)",
+            ("layer", "event"))
+        self._batches = r.counter(
+            "repro_batches_total", "Batch executions", ("method",))
+        self._batch_searches = r.counter(
+            "repro_batch_searches_total", "Concurrent searches launched by batches",
+            ("method",))
+        self._fallback = r.counter(
+            "repro_fallback_attempts_total",
+            "Fallback-chain rung attempts by outcome", ("method", "outcome"))
+        self._retries = r.counter(
+            "repro_fallback_retries_total", "Transient-failure retries in fallback chains")
+        self._budget_exhausted = r.counter(
+            "repro_budget_exhausted_total", "Runs stopped by an execution budget", ("limit",))
+        self._query_seconds = r.histogram(
+            "repro_query_seconds", "Wall-clock time of observed spans", ("method",),
+            buckets=TIME_BUCKETS)
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    @property
+    def current_span(self) -> QuerySpan | None:
+        return self._span
+
+    @contextmanager
+    def span(self, method: str, *, source: int | None = None, target: int | None = None):
+        """Open a :class:`QuerySpan`; events inside fold into it.
+
+        Spans nest: an inner span shadows the outer one for its
+        duration (events fold into the innermost open span only).
+        """
+        span = QuerySpan(
+            method=str(method),
+            source=None if source is None else int(source),
+            target=None if target is None else int(target),
+        )
+        prev, self._span = self._span, span
+        t0 = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.wall_seconds = time.perf_counter() - t0
+            self._span = prev
+            self.spans.append(span)
+            if len(self.spans) > self.max_spans:
+                del self.spans[: len(self.spans) - self.max_spans]
+            self._query_seconds.observe(span.wall_seconds, method=span.method)
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def begin_run(self, policy, trace: StepTrace | None) -> StepTrace:
+        """Engine run start: ensure a StepTrace exists for this run."""
+        return trace if trace is not None else StepTrace()
+
+    def end_run(self, result, trace: StepTrace | None) -> None:
+        """Engine run end: fold the result into metrics and the span."""
+        label = policy_label(result.policy)
+        self._runs.inc(policy=label)
+        self._steps.inc(result.steps, policy=label)
+        self._relaxations.inc(result.relaxations, policy=label)
+        self._work_hist.observe(result.meter.work, policy=label)
+        self._depth_hist.observe(result.meter.depth, policy=label)
+        if trace is not None and len(trace):
+            self._pruned.inc(trace.total_pruned(), policy=label)
+            self._frontier_peak.observe(trace.peak_frontier(), policy=label)
+            settled = trace.mu_settled_step()
+            if settled is not None and result.steps > 0:
+                self._mu_settled.observe((settled + 1) / result.steps, policy=label)
+        if result.exhausted and result.budget_report is not None:
+            reason = result.budget_report.reason or ""
+            limit = reason.split("=", 1)[0] if "=" in reason else "unknown"
+            self._budget_exhausted.inc(limit=limit)
+        if self._span is not None:
+            self._span.fold_run(result, trace)
+
+    def on_frontier_switch(self, to_dense: bool, size: int) -> None:
+        """Frontier hook: one sparse<->dense representation switch."""
+        self._frontier_switches.inc(to="dense" if to_dense else "sparse")
+
+    # ------------------------------------------------------------------
+    # Batch / cache / fallback hooks
+    # ------------------------------------------------------------------
+    def on_batch(self, method: str, result) -> None:
+        self._batches.inc(method=method)
+        self._batch_searches.inc(result.num_searches, method=method)
+        if self._span is not None:
+            self._span.batch_searches += result.num_searches
+
+    def on_cache(self, layer: str, event: str) -> None:
+        self._cache_events.inc(layer=layer, event=event)
+        if self._span is not None:
+            self._span.fold_cache(layer, event)
+
+    def on_fallback(self, method: str, attempt: int, outcome: str) -> None:
+        self._fallback.inc(method=method, outcome=outcome)
+        if attempt > 1:
+            self._retries.inc()
+        if self._span is not None:
+            self._span.fold_fallback(method, attempt, outcome)
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def export_text(self) -> str:
+        """Prometheus text exposition of the registry."""
+        from .exposition import render_prometheus
+
+        return render_prometheus(self.registry)
+
+    def export_json(self, *, include_spans: bool = True) -> dict:
+        """The JSON snapshot (validated by ``validate_snapshot``)."""
+        from .exposition import render_json
+
+        return render_json(self.registry, spans=self.spans if include_spans else None)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Observer(metrics={len(self.registry)}, spans={len(self.spans)})"

@@ -1,0 +1,244 @@
+"""A dependency-free metrics registry: counters, gauges, histograms.
+
+The observability layer needs Prometheus-style metric semantics —
+monotone counters, point-in-time gauges, fixed-bucket histograms, all
+optionally split into labeled families — without pulling in a client
+library the container may not have.  This module implements exactly
+that subset:
+
+* metric *families* are created once on a :class:`MetricsRegistry`
+  (``registry.counter("repro_steps_total", ...)``) and are idempotent:
+  asking for an existing name returns the existing family (a type or
+  label-name mismatch raises, catching instrumentation typos early);
+* each family holds *children* keyed by label values
+  (``counter.inc(3, policy="bids")``); unlabeled families have a single
+  anonymous child;
+* histograms use **fixed buckets** chosen at creation.  Observations
+  land in the first bucket whose upper bound is >= the value, matching
+  Prometheus's cumulative ``le`` semantics at exposition time.
+
+Everything is deterministic: families collect in name order and
+children in sorted label order, so two runs of the same seeded workload
+produce byte-identical expositions (the ``repro stats`` golden test
+depends on this).
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "TIME_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: decade buckets for work-like quantities (edge counts, steps, work).
+DEFAULT_BUCKETS = (1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7)
+#: sub-millisecond..seconds buckets for wall-clock latencies.
+TIME_BUCKETS = (1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+class _Metric:
+    """Shared family machinery: label validation and child storage."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: tuple[str, ...] = ()) -> None:
+        self.name = _check_name(name)
+        self.help = str(help)
+        self.labelnames = tuple(labelnames)
+        for ln in self.labelnames:
+            if not _LABEL_RE.match(ln):
+                raise ValueError(f"invalid label name {ln!r} on metric {name!r}")
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def _key(self, labels: dict) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[ln]) for ln in self.labelnames)
+
+    def _child(self, labels: dict):
+        key = self._key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _new_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def samples(self):
+        """``(labels_dict, child)`` pairs in sorted label order."""
+        for key in sorted(self._children):
+            yield dict(zip(self.labelnames, key)), self._children[key]
+
+
+class _CounterValue:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class Counter(_Metric):
+    """A monotone non-decreasing sum (events, totals)."""
+
+    type_name = "counter"
+
+    def _new_child(self) -> _CounterValue:
+        return _CounterValue()
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self._child(labels).value += amount
+
+    def value(self, **labels) -> float:
+        key = self._key(labels)
+        child = self._children.get(key)
+        return child.value if child is not None else 0.0
+
+
+class Gauge(_Metric):
+    """A point-in-time value that may move either way."""
+
+    type_name = "gauge"
+
+    def _new_child(self) -> _CounterValue:
+        return _CounterValue()
+
+    def set(self, value: float, **labels) -> None:
+        self._child(labels).value = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        self._child(labels).value += amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self._child(labels).value -= amount
+
+    def value(self, **labels) -> float:
+        key = self._key(labels)
+        child = self._children.get(key)
+        return child.value if child is not None else 0.0
+
+
+class _HistogramValue:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        # one slot per finite bucket plus the implicit +Inf overflow.
+        self.counts = [0] * (num_buckets + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution (cumulative ``le`` at exposition)."""
+
+    type_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} buckets must be strictly increasing")
+        self.buckets = bounds
+
+    def _new_child(self) -> _HistogramValue:
+        return _HistogramValue(len(self.buckets))
+
+    def observe(self, value: float, **labels) -> None:
+        child = self._child(labels)
+        child.counts[bisect_left(self.buckets, float(value))] += 1
+        child.sum += float(value)
+        child.count += 1
+
+    def snapshot(self, **labels) -> dict:
+        """Cumulative bucket counts plus sum/count for one child."""
+        key = self._key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+        cumulative = []
+        running = 0
+        for bound, c in zip(self.buckets, child.counts):
+            running += c
+            cumulative.append({"le": bound, "count": running})
+        cumulative.append({"le": float("inf"), "count": running + child.counts[-1]})
+        return {"buckets": cumulative, "sum": child.sum, "count": child.count}
+
+
+class MetricsRegistry:
+    """Named metric families with idempotent get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.type_name}"
+                )
+            if existing.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.labelnames}, asked for {tuple(labelnames)}"
+                )
+            return existing
+        metric = cls(name, help, tuple(labelnames), **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self, name: str, help: str = "", labelnames=(), buckets=DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labelnames, buckets=buckets)
+
+    def get(self, name: str) -> _Metric | None:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def collect(self) -> list[_Metric]:
+        """All families in name order (exposition is deterministic)."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Drop every family (tests; a live service never resets)."""
+        self._metrics.clear()

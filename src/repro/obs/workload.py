@@ -1,0 +1,96 @@
+"""The seeded stats workload behind ``repro stats``.
+
+One deterministic pass that exercises every instrumented layer on one
+graph: each of the five single-query methods runs cold then warm (so
+the result/heuristic caches see both misses and hits), a Multi-BiDS
+batch runs over the same pairs, and one resilient query walks the
+fallback chain.  All randomness flows from one seed, so the resulting
+metrics — everything except wall-clock histograms — are reproducible
+byte for byte, which is what lets the text exposition be pinned as a
+golden fixture (``tests/obs/test_stats_golden.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs import road_graph
+from ..graphs.connectivity import largest_component
+from .observer import Observer
+
+__all__ = ["stats_workload", "DEFAULT_STATS_SEED", "STATS_METHODS"]
+
+DEFAULT_STATS_SEED = 1729
+STATS_METHODS = ("sssp", "et", "astar", "bids", "bidastar")
+
+
+def default_stats_graph():
+    """The built-in workload graph (the golden-trace road grid)."""
+    return road_graph(8, 8, seed=5, name="stats-road")
+
+
+def seeded_pairs(graph, num_pairs: int, seed: int) -> list[tuple[int, int]]:
+    """``num_pairs`` distinct (s, t) pairs inside the largest component."""
+    lcc = largest_component(graph)
+    if len(lcc) < 2:
+        raise ValueError(
+            f"graph {graph.name!r} has no component with >= 2 vertices"
+        )
+    rng = np.random.default_rng(seed)
+    want = min(num_pairs, len(lcc) // 2)
+    chosen = rng.choice(lcc, size=2 * want, replace=False)
+    return [(int(chosen[2 * i]), int(chosen[2 * i + 1])) for i in range(want)]
+
+
+def stats_workload(
+    graph=None,
+    *,
+    num_pairs: int = 3,
+    seed: int = DEFAULT_STATS_SEED,
+    methods: tuple[str, ...] = STATS_METHODS,
+    warm_rounds: int = 2,
+    batch: bool = True,
+    resilient: bool = True,
+    observer: Observer | None = None,
+) -> Observer:
+    """Run the observed workload and return the (filled) observer.
+
+    ``graph`` defaults to the seeded 8x8 road grid; any graph with
+    coordinates (or none, if A* methods are dropped from ``methods``)
+    works.  Each query runs inside its own :class:`QuerySpan`, so the
+    returned observer carries both the lifetime metrics and the
+    per-query records.
+    """
+    from ..perf.warm import WarmEngine
+    from ..robustness.resilient import resilient_ppsp
+
+    if graph is None:
+        graph = default_stats_graph()
+    obs = observer if observer is not None else Observer()
+    pairs = seeded_pairs(graph, num_pairs, seed)
+    engine = WarmEngine(graph, observer=obs)
+
+    has_coords = graph.coords is not None and graph.coord_system is not None
+    run_methods = tuple(
+        m for m in methods if has_coords or m not in ("astar", "bidastar")
+    )
+
+    for method in run_methods:
+        for s, t in pairs:
+            with obs.span(method, source=s, target=t) as span:
+                span.distance = engine.query(s, t, method=method).distance
+        for _ in range(max(warm_rounds - 1, 0)):
+            for s, t in pairs:
+                with obs.span(method, source=s, target=t) as span:
+                    span.distance = engine.query(s, t, method=method).distance
+
+    if batch and len(pairs) >= 2:
+        with obs.span("batch-multi") as span:
+            res = engine.batch(pairs, method="multi")
+            span.exact = res.exact
+    if resilient and pairs:
+        s, t = pairs[0]
+        with obs.span("resilient", source=s, target=t) as span:
+            ans = resilient_ppsp(graph, s, t, observer=obs)
+            span.distance = ans.distance
+    return obs

@@ -125,5 +125,9 @@ class ResultCache:
     def misses(self) -> int:
         return self._lru.misses
 
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions
+
     def stats(self) -> dict:
         return self._lru.stats()

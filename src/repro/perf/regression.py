@@ -182,7 +182,8 @@ def run_benchmark(scale: str = "small") -> dict:
 
     gates = _gates(single)
     return {
-        "schema": SCHEMA,
+        "schema": SCHEMA,  # additive sections (e.g. "obs") do NOT bump this:
+        # the workload key must stay comparable across snapshots.
         "kind": "repro-bench",
         "workload_key": _workload_key(scale),
         "scale": scale,
@@ -201,8 +202,56 @@ def run_benchmark(scale: str = "small") -> dict:
         "single": single,
         "batch": batch,
         "arena": arena_checks,
+        "obs": _observed_metrics(wl),
         "gates": gates,
     }
+
+
+def _observed_metrics(wl: dict) -> dict:
+    """One instrumented pass per graph: per-phase engine metrics.
+
+    Runs after (and independently of) the timed loops with its own
+    :class:`WarmEngine` and observer, so it contributes nothing to the
+    gated counters; the numbers land in the snapshot's additive
+    ``"obs"`` section so work/pruning/μ-settlement and cache behaviour
+    are trended alongside the wall-clock trajectory.
+    """
+    from ..obs import Observer
+    from .warm import WarmEngine
+
+    out: dict[str, dict] = {}
+    for name in sorted(wl["graphs"]):
+        g = wl["graphs"][name]
+        obs = Observer()
+        engine = WarmEngine(g, observer=obs)
+        rows: dict[str, dict] = {}
+        for method in METHODS:
+            # Cold round then warm round: the second pass exercises the
+            # result cache, so hit counts below are non-trivial.
+            for _ in range(2):
+                for s, t in wl["pairs"][name]:
+                    with obs.span(method, source=s, target=t):
+                        engine.query(s, t, method=method)
+            spans = [sp for sp in obs.spans if sp.method == method]
+            rows[method] = {
+                "work": sum(sp.work for sp in spans),
+                "depth": sum(sp.depth for sp in spans),
+                "steps": sum(sp.steps for sp in spans),
+                "pruned": sum(sp.pruned for sp in spans),
+                "mu_settled_steps": [sp.mu_settled_step for sp in spans],
+                "cache_hits": sum(sp.cache_hits for sp in spans),
+            }
+        stats = engine.stats()
+        out[name] = {
+            "methods": rows,
+            "cache": {
+                "result_hits": stats["results"]["hits"],
+                "result_misses": stats["results"]["misses"],
+                "heuristic_hits": stats["heuristics"]["hits"],
+                "heuristic_misses": stats["heuristics"]["misses"],
+            },
+        }
+    return out
 
 
 def _gates(single: dict) -> dict:

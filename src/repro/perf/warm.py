@@ -115,6 +115,13 @@ class WarmEngine:
         defaults to the engine's Δ*-stepping default.
     frontier_mode, pull_relax :
         Fixed engine configuration for every query.
+    observer : repro.obs.Observer, optional
+        Default-off observability hook.  When attached, every engine run
+        reports work/depth/steps, the result and heuristic caches emit
+        hit/miss/evict events (layers ``"result"`` and ``"heuristic"``),
+        and an attached landmark set reports its h-row memo hits.  When
+        ``None`` (the default) the warm path is bit-identical to the
+        uninstrumented engine.
     """
 
     def __init__(
@@ -128,9 +135,13 @@ class WarmEngine:
         strategy_factory=None,
         frontier_mode: str = "auto",
         pull_relax: bool = False,
+        observer=None,
     ) -> None:
         self.graph = graph
         self.landmarks = landmarks
+        self.observer = observer
+        if landmarks is not None and observer is not None:
+            landmarks.observer = observer
         self.arena = arena if arena is not None else BufferArena()
         self.results = ResultCache(result_cache_size)
         self._heuristics: LRUCache = LRUCache(heuristic_cache_size)
@@ -149,6 +160,7 @@ class WarmEngine:
             frontier_mode=self._frontier_mode,
             pull_relax=self._pull_relax,
             arena=self.arena,
+            observer=self.observer,
         )
 
     # ------------------------------------------------------------------
@@ -164,9 +176,14 @@ class WarmEngine:
         lifted from per-query to per-engine scope.
         """
         vertex = int(vertex)
+        observer = self.observer
         h = self._heuristics.get(vertex)
         if h is not None:
+            if observer is not None:
+                observer.on_cache("heuristic", "hit")
             return h
+        if observer is not None:
+            observer.on_cache("heuristic", "miss")
         if self.graph.coords is not None and self.graph.coord_system is not None:
             h = make_heuristic(self.graph, vertex, memoize=True)
         elif self.landmarks is not None:
@@ -176,7 +193,10 @@ class WarmEngine:
                 f"graph {self.graph.name!r} has no coordinates and no landmarks "
                 "attached; A* methods are not applicable"
             )
+        before = self._heuristics.evictions
         self._heuristics.put(vertex, h)
+        if observer is not None and self._heuristics.evictions > before:
+            observer.on_cache("heuristic", "evict")
         return h
 
     def _make_policy(self, source: int, target: int, method: str):
@@ -208,6 +228,7 @@ class WarmEngine:
         method: str = "bids",
         path: bool = False,
         use_cache: bool = True,
+        budget=None,
     ) -> WarmAnswer:
         """Exact shortest s-t distance, warm.
 
@@ -218,20 +239,34 @@ class WarmEngine:
         shortest path while the distance matrix is still alive (pooled
         buffers are recycled when the call returns, so the path cannot
         be derived later).
+
+        ``budget`` (a :class:`repro.robustness.Budget` or live meter)
+        bounds this one query's engine run; an answer whose budget ran
+        out (``exact=False``) is never stored in the result cache.
         """
         from ..api import validate_query  # runtime import: api imports perf lazily
 
         validate_query(self.graph, source, target)
         source, target = int(source), int(target)
         self.queries += 1
+        observer = self.observer
         if use_cache:
             hit = self.results.get(source, target, method)
             if hit is not None and (hit.path_vertices is not None or not path
                                     or not hit.reachable or source == target):
+                if observer is not None:
+                    observer.on_cache("result", "hit")
                 return replace(hit, cached=True)
+            if observer is not None:
+                observer.on_cache("result", "miss")
 
+        bmeter = None
+        if budget is not None:
+            bmeter = budget if hasattr(budget, "charge") else budget.start()
         with self.arena.scope():
-            run = self._engine.run(self._make_policy(source, target, method))
+            run = self._engine.run(
+                self._make_policy(source, target, method), budget=bmeter
+            )
             if method == "sssp":
                 distance = float(run.answer[target])
             else:
@@ -259,8 +294,11 @@ class WarmEngine:
             depth=float(run.meter.depth),
             path_vertices=path_vertices,
         )
-        if use_cache:
+        if use_cache and answer.exact:
+            before = self.results.evictions
             self.results.put(source, target, method, answer)
+            if observer is not None and self.results.evictions > before:
+                observer.on_cache("result", "evict")
         return answer
 
     def batch(
@@ -283,6 +321,8 @@ class WarmEngine:
         if method not in BATCH_METHODS:
             raise ValueError(f"unknown batch method {method!r}; options: {BATCH_METHODS}")
         self.batches += 1
+        if self.observer is not None and "observer" not in kwargs:
+            kwargs = {**kwargs, "observer": self.observer}
         if keep_paths:
             res = solve_batch(self.graph, queries, method=method, **kwargs)
         else:

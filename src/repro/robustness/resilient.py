@@ -94,6 +94,7 @@ def resilient_ppsp(
     checked: bool = False,
     reference_fallback: bool = True,
     fault_injector=None,
+    observer=None,
     **kwargs,
 ) -> ResilientAnswer:
     """Answer one query through the fallback chain.
@@ -118,6 +119,10 @@ def resilient_ppsp(
         exactly (guaranteed-exact terminal rung).
     fault_injector : FaultInjector or None
         Passed through to the engine (chaos testing).
+    observer : repro.obs.Observer or None
+        Threaded into every engine rung, and notified of each attempt
+        via ``on_fallback(method, attempt, outcome)`` — including the
+        terminal Dijkstra rung.
 
     Remaining keyword arguments flow to :func:`repro.api.ppsp`.
     """
@@ -126,6 +131,11 @@ def resilient_ppsp(
     best_bound = np.inf
     best_answer: PPSPAnswer | None = None
     best_method: str | None = None
+
+    def note(report: AttemptReport) -> None:
+        attempts.append(report)
+        if observer is not None:
+            observer.on_fallback(report.method, report.attempt, report.outcome)
 
     for method in methods:
         for attempt in range(1, retries + 2):
@@ -138,11 +148,12 @@ def resilient_ppsp(
                     budget=budget,
                     checked=checked,
                     fault_injector=fault_injector,
+                    observer=observer,
                     **kwargs,
                 )
             except Exception as err:  # noqa: BLE001 — each rung must be contained
                 transient = bool(getattr(err, "transient", False))
-                attempts.append(AttemptReport(
+                note(AttemptReport(
                     method=method,
                     attempt=attempt,
                     outcome="error",
@@ -155,7 +166,7 @@ def resilient_ppsp(
                     continue
                 break  # permanent (or retries spent): next rung
             if ans.exact:
-                attempts.append(AttemptReport(method=method, attempt=attempt, outcome="ok"))
+                note(AttemptReport(method=method, attempt=attempt, outcome="ok"))
                 return ResilientAnswer(
                     source=int(source),
                     target=int(target),
@@ -166,14 +177,14 @@ def resilient_ppsp(
                     answer=ans,
                 )
             # Budget-exhausted: keep the bound, move down the chain.
-            attempts.append(AttemptReport(method=method, attempt=attempt, outcome="inexact"))
+            note(AttemptReport(method=method, attempt=attempt, outcome="inexact"))
             if ans.distance < best_bound:
                 best_bound, best_answer, best_method = ans.distance, ans, method
             break
 
     if reference_fallback:
         distance = dijkstra_ppsp(graph, int(source), int(target))
-        attempts.append(AttemptReport(method=REFERENCE_RUNG, attempt=1, outcome="ok"))
+        note(AttemptReport(method=REFERENCE_RUNG, attempt=1, outcome="ok"))
         return ResilientAnswer(
             source=int(source),
             target=int(target),

@@ -1,0 +1,137 @@
+"""Unit tests of the dependency-free metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.exposition import render_json, render_prometheus
+
+pytestmark = pytest.mark.obs
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("events_total", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labeled_children_are_independent(self):
+        c = Counter("runs_total", "", ("policy",))
+        c.inc(policy="bids")
+        c.inc(3, policy="astar")
+        assert c.value(policy="bids") == 1
+        assert c.value(policy="astar") == 3
+        assert c.value(policy="sssp") == 0  # untouched child reads 0
+
+    def test_negative_increment_rejected(self):
+        c = Counter("events_total")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        c = Counter("runs_total", "", ("policy",))
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc(method="bids")
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("inflight")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        h = Histogram("work", "", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        snap = h.snapshot()
+        # cumulative counts: <=1 -> 1, <=10 -> 2, <=100 -> 3, +Inf -> 4
+        assert [b["count"] for b in snap["buckets"]] == [1, 2, 3, 4]
+        assert snap["buckets"][-1]["le"] == float("inf")
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(555.5)
+
+    def test_boundary_value_falls_in_its_bucket(self):
+        h = Histogram("work", "", buckets=(1.0, 10.0))
+        h.observe(1.0)  # le="1" must include exactly-1 (Prometheus <=)
+        assert h.snapshot()["buckets"][0]["count"] == 1
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("bad", "", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        r = MetricsRegistry()
+        a = r.counter("x_total", "h", ("policy",))
+        b = r.counter("x_total", "h", ("policy",))
+        assert a is b
+
+    def test_type_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("x_total")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            r.gauge("x_total")
+
+    def test_labelname_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("x_total", "", ("policy",))
+        with pytest.raises(ValueError, match="already registered with labels"):
+            r.counter("x_total", "", ("method",))
+
+    def test_invalid_names_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            r.counter("bad name")
+        with pytest.raises(ValueError, match="invalid label name"):
+            r.counter("ok_total", "", ("bad-label",))
+
+    def test_collect_is_name_sorted(self):
+        r = MetricsRegistry()
+        r.counter("z_total")
+        r.counter("a_total")
+        assert [m.name for m in r.collect()] == ["a_total", "z_total"]
+
+
+class TestExpositionDeterminism:
+    def _filled(self) -> MetricsRegistry:
+        r = MetricsRegistry()
+        c = r.counter("repro_runs_total", "Engine runs", ("policy",))
+        c.inc(2, policy="bids")
+        c.inc(1, policy="astar")
+        h = r.histogram("repro_run_work", "Work", ("policy",), buckets=(10.0, 100.0))
+        h.observe(5, policy="bids")
+        h.observe(500, policy="bids")
+        return r
+
+    def test_text_is_deterministic_and_sorted(self):
+        a, b = render_prometheus(self._filled()), render_prometheus(self._filled())
+        assert a == b
+        # children of one family appear in sorted label order regardless
+        # of insertion order (compare within the runs_total section).
+        runs = a[a.index("# TYPE repro_runs_total"):]
+        assert runs.index('policy="astar"') < runs.index('policy="bids"')
+
+    def test_text_format_shape(self):
+        text = render_prometheus(self._filled())
+        assert "# TYPE repro_runs_total counter" in text
+        assert 'repro_runs_total{policy="bids"} 2' in text  # ints print bare
+        assert 'repro_run_work_bucket{policy="bids",le="+Inf"} 2' in text
+        assert 'repro_run_work_count{policy="bids"} 2' in text
+
+    def test_json_matches_text_content(self):
+        payload = render_json(self._filled())
+        by_name = {m["name"]: m for m in payload["metrics"]}
+        runs = by_name["repro_runs_total"]["samples"]
+        assert {"labels": {"policy": "bids"}, "value": 2.0} in runs
+        work = by_name["repro_run_work"]["samples"][0]
+        assert work["buckets"][-1] == {"le": "inf", "count": 2}

@@ -1,0 +1,72 @@
+"""Golden text exposition of the seeded stats workload, pinned.
+
+The fixture is the full Prometheus-text export of one
+:func:`repro.obs.workload.stats_workload` run on the default 8x8 road
+grid, with wall-clock lines (any ``_seconds`` metric) filtered out so
+only the deterministic counters remain.  Any change to instrumentation
+coverage, label sets, metric names, or the workload itself shows up as
+a fixture diff before it shows up as a dashboard surprise.  Regenerate
+deliberately with::
+
+    UPDATE_STATS_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_stats_golden.py
+
+and review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.obs import validate_snapshot
+from repro.obs.workload import stats_workload
+
+pytestmark = pytest.mark.obs
+
+FIXTURES = Path(__file__).parent / "fixtures"
+UPDATE = os.environ.get("UPDATE_STATS_GOLDEN") == "1"
+GOLDEN = FIXTURES / "stats_road8.prom"
+
+
+def _deterministic_text(obs) -> str:
+    """The text exposition minus the wall-clock (``_seconds``) families."""
+    lines = [
+        line for line in obs.export_text().splitlines()
+        if "_seconds" not in line
+    ]
+    return "\n".join(lines) + "\n"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return stats_workload()  # default graph, pairs, and seed
+
+
+def test_text_exposition_matches_golden(workload):
+    text = _deterministic_text(workload)
+    if UPDATE:
+        FIXTURES.mkdir(exist_ok=True)
+        GOLDEN.write_text(text)
+        pytest.skip(f"regenerated {GOLDEN.name}")
+    assert GOLDEN.exists(), (
+        f"missing fixture {GOLDEN.name}; run with UPDATE_STATS_GOLDEN=1"
+    )
+    want = GOLDEN.read_text()
+    if text != want:
+        diff = "\n".join(difflib.unified_diff(
+            want.splitlines(), text.splitlines(),
+            fromfile="golden", tofile="current", lineterm="",
+        ))
+        pytest.fail(f"stats exposition drifted from golden:\n{diff}")
+
+
+def test_workload_repeats_byte_identical(workload):
+    """Two runs from the same seed expose identical deterministic text."""
+    assert _deterministic_text(stats_workload()) == _deterministic_text(workload)
+
+
+def test_workload_snapshot_validates(workload):
+    validate_snapshot(workload.export_json())

@@ -1,0 +1,127 @@
+"""Auditor detection matrix: no corruption class passes silently.
+
+The chaos suite (``test_chaos.py``) proves each fault is detected *or*
+recovered end to end.  This suite pins the sharper detection contract
+behind it, corruption class by corruption class:
+
+1. **checked mode flags it** — the run raises an
+   :class:`InvariantViolation` of the documented kind, and the injector
+   confirms the fault actually fired (a test that never injected proves
+   nothing);
+2. **the corruption is otherwise silent** — the same injection without
+   an auditor completes and returns a *wrong or rightly-suspect* answer
+   (or at least does not raise), which is exactly why checked mode
+   exists: nothing else in the stack notices.
+
+Together the two halves rule out the failure mode where an auditor
+check rots into a no-op and its chaos test keeps passing because the
+fault stopped firing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ppsp
+from repro.robustness import FaultInjector, InvariantAuditor
+from repro.robustness.auditor import InvariantViolation
+
+from .conftest import mu_window
+
+SEED = 7041
+
+#: every auditor-detectable corruption class of FaultInjector, with the
+#: methods it applies to and the violation kind that must flag it.
+CORRUPTIONS = [
+    pytest.param(
+        "corrupt-dist",
+        dict(corrupt_dist_at=2, corrupt_dist_count=3),
+        ["sssp", "et", "bids", "astar", "bidastar"],
+        {"dist-increase"},
+        id="corrupt-dist",
+    ),
+    pytest.param(
+        "drop-frontier",
+        dict(drop_frontier_at=2),
+        ["sssp", "et", "bids", "astar", "bidastar"],
+        {"frontier-drop"},
+        id="drop-frontier",
+    ),
+    pytest.param(
+        "corrupt-mu",
+        dict(corrupt_mu_at="first-finite-mu", mu_factor=0.25),
+        ["et", "bids", "astar", "bidastar"],
+        {"mu-unwitnessed", "mu-increase"},
+        id="corrupt-mu",
+    ),
+    pytest.param(
+        "perturb-heuristic",
+        dict(perturb_heuristic=True),
+        ["astar", "bidastar"],
+        {"heuristic-endpoint", "heuristic-inconsistent"},
+        id="perturb-heuristic",
+    ),
+]
+
+
+def _build_injector(graph, s, t, method, spec):
+    """Materialize an injector spec, resolving self-calibrating steps."""
+    kwargs = dict(spec)
+    if kwargs.get("corrupt_mu_at") == "first-finite-mu":
+        first, total = mu_window(graph, s, t, method)
+        if first is None or first + 1 >= total:
+            pytest.skip(f"{method}: no step window with finite, unconverged mu")
+        kwargs["corrupt_mu_at"] = first + 1
+    return FaultInjector(seed=SEED, **kwargs)
+
+
+@pytest.mark.parametrize("fault,spec,methods,kinds", CORRUPTIONS)
+def test_checked_mode_flags_every_corruption_class(grid, grid_query, fault, spec, methods, kinds):
+    s, t, _ = grid_query
+    for method in methods:
+        injector = _build_injector(grid, s, t, method, spec)
+        with pytest.raises(InvariantViolation) as exc:
+            ppsp(
+                grid, s, t, method=method,
+                auditor=InvariantAuditor(seed=SEED),
+                fault_injector=injector,
+            )
+        assert exc.value.kind in kinds, (
+            f"{fault} on {method}: flagged as {exc.value.kind!r}, "
+            f"expected one of {sorted(kinds)}"
+        )
+        # The violation must come from a fault that actually fired.
+        assert injector.fired, f"{fault} on {method}: injector never fired"
+        assert all(kind.startswith(fault.split("-")[0]) for _, kind in injector.fired) or (
+            injector.fired[0][1] == fault
+        )
+
+
+@pytest.mark.parametrize("fault,spec,methods,kinds", CORRUPTIONS)
+def test_corruptions_are_silent_without_the_auditor(grid, grid_query, fault, spec, methods, kinds):
+    """Control: unchecked runs swallow the same corruption quietly.
+
+    This is the half that justifies checked mode — if a corruption
+    already crashed or errored without the auditor, the detection test
+    above would be vacuous.
+    """
+    s, t, true_distance = grid_query
+    for method in methods:
+        injector = _build_injector(grid, s, t, method, spec)
+        ans = ppsp(grid, s, t, method=method, fault_injector=injector)
+        assert injector.fired, f"{fault} on {method}: injector never fired"
+        # Unchecked, the engine completes without raising and yields
+        # *some* number — possibly wrong, possibly inf (drop-frontier can
+        # sever the search) — which is the point.
+        assert isinstance(ans.distance, float)
+
+
+@pytest.mark.parametrize("method", ["sssp", "et", "bids", "astar", "bidastar"])
+def test_clean_runs_pass_checked_mode(grid, grid_query, method):
+    """The matrix is sound: with no injector, the auditor stays quiet."""
+    s, t, true_distance = grid_query
+    auditor = InvariantAuditor(seed=SEED)
+    ans = ppsp(grid, s, t, method=method, auditor=auditor)
+    assert ans.distance == pytest.approx(true_distance)
+    assert auditor.steps_audited == ans.run.steps

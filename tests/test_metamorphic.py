@@ -1,0 +1,243 @@
+"""Metamorphic tests: distance invariants under graph transformations.
+
+Shortest-path algorithms admit exact metamorphic relations — known ways
+the *output* must move when the *input* is transformed:
+
+* **uniform weight scaling** — multiplying every weight (and, to keep
+  geometric heuristics exact, every coordinate) by ``c > 0`` scales all
+  distances by exactly ``c``;
+* **vertex relabeling** — permuting vertex ids changes nothing but the
+  names: ``d'(π(s), π(t)) == d(s, t)``;
+* **edge subdivision** — splitting an edge into two halves through a
+  new midpoint vertex leaves every original-pair distance unchanged.
+
+Each relation is checked for all five single-query methods, and the
+reported shortest *path* is re-validated edge by edge on the transformed
+graph.  These tests need no oracle: the original run is its own
+reference, which is what makes them effective against subtle
+cost-model/heuristic bugs that agree with Dijkstra on easy inputs.
+
+The suite uses a k-NN graph because its weights equal the Euclidean
+distance of its endpoints — the property that keeps A*'s geometric
+heuristic admissible under coordinate scaling and makes midpoint
+coordinates exact under subdivision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ppsp
+from repro.graphs import knn_graph
+from repro.graphs.connectivity import largest_component
+from repro.graphs.csr import from_edges
+from repro.graphs.knn import uniform_points
+
+SEED = 11
+METHODS = ("sssp", "et", "astar", "bids", "bidastar")
+REL_TOL = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Fixtures and helpers
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def base_graph():
+    g = knn_graph(uniform_points(150, 2, seed=SEED), k=5, name="meta-knn")
+    # Guard the suite's core assumption: k-NN weights ARE the Euclidean
+    # distances of their endpoints (subdivision midpoints rely on it).
+    src, dst, w = g.edges()
+    span = np.linalg.norm(g.coords[src] - g.coords[dst], axis=1)
+    assert np.allclose(w, span, rtol=1e-12)
+    return g
+
+
+@pytest.fixture(scope="module")
+def query_pairs(base_graph):
+    lcc = largest_component(base_graph)
+    rng = np.random.default_rng(SEED)
+    chosen = rng.choice(lcc, size=8, replace=False)
+    return [(int(chosen[2 * i]), int(chosen[2 * i + 1])) for i in range(4)]
+
+
+@pytest.fixture(scope="module")
+def base_distances(base_graph, query_pairs):
+    return {
+        (method, s, t): ppsp(base_graph, s, t, method=method).distance
+        for method in METHODS
+        for s, t in query_pairs
+    }
+
+
+def undirected_edges(graph):
+    """Each undirected edge once, as (src, dst, weight) with src < dst."""
+    src, dst, w = graph.edges()
+    keep = src < dst
+    return src[keep], dst[keep], w[keep]
+
+
+def path_weight(graph, path) -> float:
+    """Sum of (minimum) edge weights along a vertex path.
+
+    Raises if a claimed hop has no corresponding edge — the path
+    validation half of each metamorphic check.
+    """
+    total = 0.0
+    for u, v in zip(path[:-1], path[1:]):
+        nbrs = graph.neighbors(u)
+        hits = np.flatnonzero(nbrs == v)
+        if len(hits) == 0:
+            raise AssertionError(f"path claims edge ({u}, {v}) which does not exist")
+        total += float(graph.neighbor_weights(u)[hits].min())
+    return total
+
+
+def check_path(graph, s, t, method, expected_distance):
+    """The reported path must exist on ``graph`` and realize the distance."""
+    ans = ppsp(graph, s, t, method=method)
+    path = ans.path()
+    assert path[0] == s and path[-1] == t
+    assert path_weight(graph, path) == pytest.approx(expected_distance, rel=REL_TOL)
+
+
+# ----------------------------------------------------------------------
+# Transform 1: uniform weight scaling
+# ----------------------------------------------------------------------
+def scaled_graph(graph, c: float):
+    g = graph.with_weights(graph.weights * c)
+    # Scale coordinates by the same factor so geometric heuristics stay
+    # exact: h(v) = c * ||v - t|| <= c * d(v, t), still admissible.
+    g.coords = graph.coords * c
+    return g
+
+
+@pytest.mark.metamorphic
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("c", (3.0, 0.25))
+def test_distance_scales_with_weights(base_graph, query_pairs, base_distances, method, c):
+    g = scaled_graph(base_graph, c)
+    for s, t in query_pairs:
+        d = ppsp(g, s, t, method=method).distance
+        assert d == pytest.approx(c * base_distances[(method, s, t)], rel=REL_TOL)
+
+
+@pytest.mark.metamorphic
+@pytest.mark.parametrize("method", METHODS)
+def test_paths_valid_after_scaling(base_graph, query_pairs, base_distances, method):
+    g = scaled_graph(base_graph, 3.0)
+    s, t = query_pairs[0]
+    check_path(g, s, t, method, 3.0 * base_distances[(method, s, t)])
+
+
+# ----------------------------------------------------------------------
+# Transform 2: random vertex relabeling
+# ----------------------------------------------------------------------
+def relabeled_graph(graph, perm: np.ndarray):
+    src, dst, w = undirected_edges(graph)
+    coords = np.empty_like(graph.coords)
+    coords[perm] = graph.coords
+    return from_edges(
+        perm[src],
+        perm[dst],
+        w,
+        num_vertices=graph.num_vertices,
+        directed=False,
+        coords=coords,
+        coord_system=graph.coord_system,
+        name=f"{graph.name}-relabeled",
+    )
+
+
+@pytest.mark.metamorphic
+@pytest.mark.parametrize("method", METHODS)
+def test_distance_invariant_under_relabeling(base_graph, query_pairs, base_distances, method):
+    rng = np.random.default_rng(SEED + 1)
+    perm = rng.permutation(base_graph.num_vertices)
+    g = relabeled_graph(base_graph, perm)
+    for s, t in query_pairs:
+        d = ppsp(g, int(perm[s]), int(perm[t]), method=method).distance
+        assert d == pytest.approx(base_distances[(method, s, t)], rel=REL_TOL)
+
+
+@pytest.mark.metamorphic
+@pytest.mark.parametrize("method", METHODS)
+def test_paths_valid_after_relabeling(base_graph, query_pairs, base_distances, method):
+    rng = np.random.default_rng(SEED + 1)
+    perm = rng.permutation(base_graph.num_vertices)
+    g = relabeled_graph(base_graph, perm)
+    s, t = query_pairs[0]
+    check_path(g, int(perm[s]), int(perm[t]), method, base_distances[(method, s, t)])
+
+
+# ----------------------------------------------------------------------
+# Transform 3: edge subdivision
+# ----------------------------------------------------------------------
+def subdivided_graph(graph, num_edges: int, seed: int):
+    """Split ``num_edges`` randomly chosen edges at their midpoints.
+
+    Each chosen edge (u, v, w) becomes (u, x, w/2) + (x, v, w/2) through
+    a fresh vertex x placed at the Euclidean midpoint — exact because
+    k-NN weights equal endpoint distances, so the two halves measure
+    w/2 each and every original-pair distance is preserved.
+    """
+    src, dst, w = undirected_edges(graph)
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(len(src), size=min(num_edges, len(src)), replace=False)
+    mask = np.zeros(len(src), dtype=bool)
+    mask[chosen] = True
+
+    n = graph.num_vertices
+    mids = np.arange(n, n + mask.sum())
+    new_src = np.concatenate([src[~mask], src[mask], mids])
+    new_dst = np.concatenate([dst[~mask], mids, dst[mask]])
+    half = w[mask] / 2.0
+    new_w = np.concatenate([w[~mask], half, half])
+    mid_coords = (graph.coords[src[mask]] + graph.coords[dst[mask]]) / 2.0
+    coords = np.vstack([graph.coords, mid_coords])
+    return from_edges(
+        new_src,
+        new_dst,
+        new_w,
+        num_vertices=n + mask.sum(),
+        directed=False,
+        coords=coords,
+        coord_system=graph.coord_system,
+        name=f"{graph.name}-subdivided",
+    )
+
+
+@pytest.mark.metamorphic
+@pytest.mark.parametrize("method", METHODS)
+def test_distance_invariant_under_subdivision(base_graph, query_pairs, base_distances, method):
+    g = subdivided_graph(base_graph, num_edges=60, seed=SEED + 2)
+    assert g.num_vertices == base_graph.num_vertices + 60
+    for s, t in query_pairs:
+        d = ppsp(g, s, t, method=method).distance
+        assert d == pytest.approx(base_distances[(method, s, t)], rel=REL_TOL)
+
+
+@pytest.mark.metamorphic
+@pytest.mark.parametrize("method", METHODS)
+def test_paths_valid_after_subdivision(base_graph, query_pairs, base_distances, method):
+    g = subdivided_graph(base_graph, num_edges=60, seed=SEED + 2)
+    s, t = query_pairs[0]
+    check_path(g, s, t, method, base_distances[(method, s, t)])
+
+
+# ----------------------------------------------------------------------
+# Composition: all three transforms stacked
+# ----------------------------------------------------------------------
+@pytest.mark.metamorphic
+@pytest.mark.parametrize("method", METHODS)
+def test_transforms_compose(base_graph, query_pairs, base_distances, method):
+    """scale ∘ relabel ∘ subdivide obeys the composed relation."""
+    c = 2.0
+    rng = np.random.default_rng(SEED + 3)
+    g = subdivided_graph(base_graph, num_edges=40, seed=SEED + 2)
+    perm = rng.permutation(g.num_vertices)
+    g = relabeled_graph(g, perm)
+    g = scaled_graph(g, c)
+    for s, t in query_pairs:
+        d = ppsp(g, int(perm[s]), int(perm[t]), method=method).distance
+        assert d == pytest.approx(c * base_distances[(method, s, t)], rel=REL_TOL)
