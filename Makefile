@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-slow chaos bench stats reproduce reproduce-tiny report examples clean
+.PHONY: install test test-slow chaos serve bench stats reproduce reproduce-tiny report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,6 +14,11 @@ test:
 # detected by checked mode or recovered by the fallback chain.
 chaos:
 	$(PYTHON) -m pytest tests/robustness/ -q
+
+# Serve-pipeline suite: checkpoint/resume determinism, deadlines,
+# circuit breakers, load shedding (docs/robustness.md).
+serve:
+	$(PYTHON) -m pytest tests/serve/ -q
 
 # Nightly-only stress/invariant suites excluded from the default run.
 test-slow:

@@ -14,7 +14,7 @@ Quickstart::
     print(ans.distance, len(ans.path()))
 """
 
-from . import analysis, baselines, core, graphs, heuristics, parallel, perf, robustness
+from . import analysis, baselines, core, graphs, heuristics, parallel, perf, robustness, serve
 from .api import (
     BATCH_METHODS,
     PPSP_METHODS,
@@ -43,10 +43,19 @@ from .robustness import (
     InvariantAuditor,
     InvariantViolation,
     ResilientAnswer,
+    SimClock,
     resilient_ppsp,
 )
+from .serve import (
+    BreakerBoard,
+    CircuitBreaker,
+    PipelineResult,
+    ServePipeline,
+    ServeQuery,
+    serve_batch,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ppsp",
@@ -70,11 +79,18 @@ __all__ = [
     "MultiPPSP",
     "DeltaStepping",
     "Budget",
+    "SimClock",
     "InvariantAuditor",
     "InvariantViolation",
     "FaultInjector",
     "resilient_ppsp",
     "ResilientAnswer",
+    "serve_batch",
+    "ServePipeline",
+    "PipelineResult",
+    "ServeQuery",
+    "CircuitBreaker",
+    "BreakerBoard",
     "graphs",
     "core",
     "heuristics",

@@ -5,6 +5,9 @@ entry point):
 
 * ``query``    — one PPSP query on a saved graph;
 * ``batch``    — a batch of queries (pairs on the command line or a file);
+* ``serve-batch`` — the fault-tolerant batch pipeline: durable
+  checkpoints with ``--resume``, per-query deadlines, per-method
+  circuit breakers, and priority-based load shedding;
 * ``trace``    — a query's full per-step engine trace (table or JSON);
 * ``bench``    — the benchmark-regression harness (emits ``BENCH_<i>.json``);
 * ``generate`` — build a suite-style synthetic graph and save it;
@@ -211,6 +214,68 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_serve_batch(args) -> int:
+    """The fault-tolerant batch pipeline (checkpoints, deadlines, breakers)."""
+    from .serve import ServePipeline
+
+    graph = _load_graph(args.graph)
+    if args.pairs_file:
+        # 's t' or 's t priority' per line; priority defaults to 0.
+        queries = []
+        with open(args.pairs_file) as fh:
+            for line in fh:
+                parts = line.split()
+                if not parts:
+                    continue
+                if len(parts) not in (2, 3):
+                    raise SystemExit(
+                        f"bad pairs line {line.strip()!r}; expected 's t [priority]'"
+                    )
+                queries.append(tuple(int(x) for x in parts))
+    else:
+        raw = [int(x) for x in args.pairs]
+        if len(raw) % 2:
+            raise SystemExit("need an even number of vertex ids")
+        queries = list(zip(raw[0::2], raw[1::2]))
+    if not queries:
+        raise SystemExit("no queries given (inline pairs or --pairs-file)")
+
+    pipeline = ServePipeline(
+        graph,
+        method=args.method,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        deadline_ms=args.deadline_ms,
+        max_queue=args.max_queue,
+        budget=_parse_budget(args.budget),
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+    )
+    res = pipeline.run(queries, resume=args.resume)
+    payload = {
+        "method": res.method,
+        "counts": res.counts(),
+        "checkpoints_written": res.checkpoints_written,
+        "resumed_queries": res.resumed_queries,
+        "breakers": res.breaker_states,
+        "shed": [f"{s}->{t}" for s, t in res.shed],
+        "results": {
+            f"{s}->{t}": {
+                "distance": res.distances[(s, t)],
+                "exact": res.exact[(s, t)],
+                "outcome": res.outcomes[(s, t)],
+            }
+            for (s, t) in sorted(res.distances)
+        },
+    }
+    if args.checkpoint:
+        payload["checkpoint"] = args.checkpoint
+    print(json.dumps(payload, indent=2))
+    # Shed/timed-out queries are a degraded (but explicit) service level,
+    # not a failure; only a query with no answer at all is one.
+    return 1 if "failed" in res.counts() else 0
+
+
 def _cmd_generate(args) -> int:
     if args.kind == "social":
         g = social_graph(args.n, seed=args.seed)
@@ -336,6 +401,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="verify framework invariants every step (slow)")
     b.add_argument("pairs", nargs="*", help="s1 t1 s2 t2 ...")
     b.set_defaults(func=_cmd_batch)
+
+    sv = sub.add_parser(
+        "serve-batch",
+        help="fault-tolerant batch pipeline: checkpoint/resume, deadlines, "
+             "circuit breakers, load shedding",
+    )
+    sv.add_argument("--graph", required=True)
+    sv.add_argument("--method", default="multi",
+                    choices=("multi", "plain-bids", "plain-star-bids",
+                             "sssp-plain", "sssp-vc", "resilient"))
+    sv.add_argument("--pairs-file", help="file of 's t [priority]' lines")
+    sv.add_argument("--checkpoint", metavar="PATH",
+                    help="durable checkpoint manifest (a .npz sidecar is "
+                         "written next to it); enables --resume")
+    sv.add_argument("--checkpoint-every", type=int, default=16,
+                    help="queries per shard between checkpoints")
+    sv.add_argument("--resume", action="store_true",
+                    help="skip queries already answered by the checkpoint "
+                         "at --checkpoint (bit-identical to an "
+                         "uninterrupted run)")
+    sv.add_argument("--deadline-ms", type=float,
+                    help="per-query deadline; queries running into it return "
+                         "the budgeted upper bound (exact=false), queries "
+                         "reaching it while queued time out explicitly")
+    sv.add_argument("--max-queue", type=int,
+                    help="admission capacity; excess queries are shed "
+                         "lowest-priority first with an explicit outcome")
+    sv.add_argument("--budget", metavar="SPEC",
+                    help="base per-shard execution budget (see 'query --budget')")
+    sv.add_argument("--breaker-threshold", type=int, default=3,
+                    help="consecutive failures that trip a method's breaker open")
+    sv.add_argument("--breaker-cooldown", type=float, default=30.0,
+                    help="seconds an open breaker waits before a half-open probe")
+    sv.add_argument("pairs", nargs="*", help="s1 t1 s2 t2 ...")
+    sv.set_defaults(func=_cmd_serve_batch)
 
     t = sub.add_parser("trace", help="full per-step engine trace of one query")
     t.add_argument("--graph", required=True)

@@ -51,12 +51,26 @@ class BatchResult:
     num_searches: int
     details: dict = field(default_factory=dict)
     exact: bool = True
+    shed: set = field(default_factory=set)
     _path_state: dict | None = field(default=None, repr=False)
 
     def distance(self, s: int, t: int) -> float:
-        if (s, t) in self.distances:
-            return self.distances[(s, t)]
-        return self.distances[(t, s)]
+        """The answered distance for one queried pair (either orientation).
+
+        Pairs the serve pipeline shed (or otherwise never reached — see
+        ``shed``) return ``inf``: they were part of the batch but carry
+        no answer.  A pair that was never in the batch at all raises a
+        ``ValueError`` naming it, rather than a bare ``KeyError`` on the
+        reversed key.
+        """
+        s, t = int(s), int(t)
+        for key in ((s, t), (t, s)):
+            if key in self.distances:
+                return self.distances[key]
+        for key in ((s, t), (t, s)):
+            if key in self.shed:
+                return float("inf")
+        raise ValueError(f"pair ({s}, {t}) was never part of this batch")
 
     def path(self, s: int, t: int) -> list[int]:
         """A shortest vertex path for one queried pair.

@@ -5,6 +5,7 @@ Instrumented call sites (:class:`~repro.core.engine.PPSPEngine`,
 :func:`~repro.core.batch.solve_batch`,
 :class:`~repro.perf.warm.WarmEngine`,
 :func:`~repro.robustness.resilient.resilient_ppsp`,
+:class:`~repro.serve.pipeline.ServePipeline`,
 :class:`~repro.heuristics.landmarks.LandmarkSet`) all take an optional
 ``observer``; when it is ``None`` — the default everywhere — the only
 cost is the ``is not None`` test, so production paths that do not opt in
@@ -124,6 +125,23 @@ class Observer:
         self._query_seconds = r.histogram(
             "repro_query_seconds", "Wall-clock time of observed spans", ("method",),
             buckets=TIME_BUCKETS)
+        self._serve_queries = r.counter(
+            "repro_serve_queries_total",
+            "Serve-pipeline queries by terminal outcome "
+            "(ok / inexact / shed / timeout / failed)", ("outcome",))
+        self._serve_deadline = r.counter(
+            "repro_serve_deadline_misses_total",
+            "Queries whose deadline expired before execution began")
+        self._serve_checkpoints = r.counter(
+            "repro_serve_checkpoints_total",
+            "Durable checkpoint events (write / resume)", ("event",))
+        self._breaker_state = r.gauge(
+            "repro_breaker_state",
+            "Circuit-breaker state per method (0 closed, 1 half-open, 2 open)",
+            ("method",))
+        self._breaker_transitions = r.counter(
+            "repro_breaker_transitions_total",
+            "Circuit-breaker state transitions", ("method", "to"))
 
     # ------------------------------------------------------------------
     # Spans
@@ -208,6 +226,33 @@ class Observer:
             self._retries.inc()
         if self._span is not None:
             self._span.fold_fallback(method, attempt, outcome)
+
+    # ------------------------------------------------------------------
+    # Serve-pipeline hooks
+    # ------------------------------------------------------------------
+    def on_serve_query(self, outcome: str) -> None:
+        """Pipeline hook: one query reached a terminal outcome."""
+        self._serve_queries.inc(outcome=outcome)
+
+    def on_deadline_miss(self) -> None:
+        """Pipeline hook: a deadline expired while the query was queued."""
+        self._serve_deadline.inc()
+
+    def on_checkpoint(self, event: str) -> None:
+        """Pipeline hook: a durable checkpoint was written or resumed."""
+        self._serve_checkpoints.inc(event=event)
+
+    def on_breaker(self, method: str, state: str, *, transition: bool = True) -> None:
+        """Breaker hook: mirror the state machine onto the gauge.
+
+        ``transition=False`` is the initial closed reading at breaker
+        creation — the gauge is set, but no transition is counted.
+        """
+        from ..serve.breaker import STATE_VALUES
+
+        self._breaker_state.set(STATE_VALUES.get(state, -1), method=method)
+        if transition:
+            self._breaker_transitions.inc(method=method, to=state)
 
     # ------------------------------------------------------------------
     # Exports

@@ -3,11 +3,13 @@
 One deterministic pass that exercises every instrumented layer on one
 graph: each of the five single-query methods runs cold then warm (so
 the result/heuristic caches see both misses and hits), a Multi-BiDS
-batch runs over the same pairs, and one resilient query walks the
-fallback chain.  All randomness flows from one seed, so the resulting
-metrics — everything except wall-clock histograms — are reproducible
-byte for byte, which is what lets the text exposition be pinned as a
-golden fixture (``tests/obs/test_stats_golden.py``).
+batch runs over the same pairs, one resilient query walks the fallback
+chain, and a chaos-seeded serve pipeline trips a circuit breaker open,
+routes through the fallback rungs, and recovers it via a half-open
+probe (all on a simulated clock).  All randomness flows from one seed,
+so the resulting metrics — everything except wall-clock histograms —
+are reproducible byte for byte, which is what lets the text exposition
+be pinned as a golden fixture (``tests/obs/test_stats_golden.py``).
 """
 
 from __future__ import annotations
@@ -51,6 +53,7 @@ def stats_workload(
     warm_rounds: int = 2,
     batch: bool = True,
     resilient: bool = True,
+    serve: bool = True,
     observer: Observer | None = None,
 ) -> Observer:
     """Run the observed workload and return the (filled) observer.
@@ -93,4 +96,37 @@ def stats_workload(
         with obs.span("resilient", source=s, target=t) as span:
             ans = resilient_ppsp(graph, s, t, observer=obs)
             span.distance = ans.distance
+
+    if serve and len(pairs) >= 2:
+        # A deterministic serve story on a simulated clock: the first
+        # two shards hit injected permanent faults, trip the batch
+        # breaker open, and route through the resilient rungs; admission
+        # sheds the lowest-priority pair; after the cooldown a second
+        # run's half-open probe closes the breaker again.  Every counter
+        # this touches is seed-reproducible.
+        from ..robustness.clock import SimClock
+        from ..robustness.faults import FaultInjector
+        from ..serve import ServePipeline
+
+        sim = SimClock()
+        pipe = ServePipeline(
+            graph,
+            method="multi",
+            checkpoint_every=max(len(pairs) // 2, 1),
+            max_queue=max(len(pairs) - 1, 1),
+            breaker_threshold=1,
+            breaker_cooldown=5.0,
+            clock=sim,
+            observer=obs,
+            fault_injector=FaultInjector(
+                seed=seed, raise_at=0, transient=False, max_fires=2
+            ),
+        )
+        with obs.span("serve-batch") as span:
+            res = pipe.run(pairs)
+            span.exact = all(res.exact.values()) if res.exact else True
+        sim.advance(10.0)  # past the cooldown: next run probes half-open
+        with obs.span("serve-batch") as span:
+            res = pipe.run(pairs)
+            span.exact = all(res.exact.values()) if res.exact else True
     return obs

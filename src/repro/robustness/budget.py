@@ -15,7 +15,6 @@ time allotted instead of an exception.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 __all__ = ["Budget", "BudgetMeter", "BudgetReport"]
@@ -35,11 +34,19 @@ class Budget:
         Maximum edge relaxations across the metered runs.
     wall_time : float or None
         Wall-clock limit in seconds, measured from :meth:`start`.
+    clock : callable or None
+        The time source ``wall_time`` is measured against: a
+        zero-argument callable returning seconds, or an object with a
+        ``now()`` method (a :class:`~repro.robustness.clock.SimClock`).
+        ``None`` — the default — means real time (``time.monotonic``);
+        deadline tests pass a simulated clock so wall-time exhaustion
+        is deterministic.
     """
 
     max_steps: int | None = None
     max_relaxations: int | None = None
     wall_time: float | None = None
+    clock: object | None = None
 
     def __post_init__(self) -> None:
         for name in ("max_steps", "max_relaxations", "wall_time"):
@@ -97,7 +104,13 @@ class BudgetMeter:
     steps: int = 0
     relaxations: int = 0
     reason: str | None = field(default=None)
-    _t0: float = field(default_factory=time.monotonic)
+    _t0: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        from .clock import as_clock
+
+        self._now = as_clock(self.budget.clock)
+        self._t0 = self._now()
 
     def charge(self, *, steps: int = 0, relaxations: int = 0) -> None:
         self.steps += steps
@@ -105,7 +118,7 @@ class BudgetMeter:
 
     @property
     def elapsed(self) -> float:
-        return time.monotonic() - self._t0
+        return self._now() - self._t0
 
     @property
     def exhausted(self) -> bool:

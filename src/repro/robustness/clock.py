@@ -1,0 +1,67 @@
+"""Simulated time: the deterministic clock behind chaos-testable deadlines.
+
+Wall-clock limits (``Budget.wall_time``), per-query deadlines, and
+circuit-breaker cooldowns all compare "now" against a recorded instant.
+In production "now" is ``time.monotonic``; in tests it must be a value
+the test *controls*, or every deadline scenario becomes a sleep-and-hope
+race.  A :class:`SimClock` is that controllable now: it only moves when
+something calls :meth:`advance` — e.g. the :class:`~repro.robustness.
+faults.FaultInjector` ``stall`` fault, which models per-step latency by
+advancing simulated time instead of sleeping.
+
+Everything that takes a clock accepts either a zero-argument callable
+returning seconds (``time.monotonic`` itself) or an object with a
+``now()`` method; ``SimClock`` is both (it is callable).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["SimClock", "as_clock"]
+
+
+class SimClock:
+    """A monotonic clock that advances only on request.
+
+    >>> clock = SimClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(2.5)
+    >>> clock()          # callable, usable wherever time.monotonic is
+    2.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance a monotonic clock by {seconds}")
+        self._now += float(seconds)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimClock(now={self._now})"
+
+
+def as_clock(clock) -> "callable":
+    """Normalize a clock argument to a zero-argument ``now`` callable.
+
+    ``None`` means real time (``time.monotonic``); objects exposing
+    ``now()`` (a :class:`SimClock`) are adapted; plain callables pass
+    through.
+    """
+    if clock is None:
+        return time.monotonic
+    now = getattr(clock, "now", None)
+    if now is not None and callable(now):
+        return now
+    if callable(clock):
+        return clock
+    raise TypeError(f"clock must be callable or have a now() method, got {clock!r}")

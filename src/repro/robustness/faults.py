@@ -14,7 +14,12 @@ corrupts a run in controlled, seedable ways:
   fire);
 * ``raise_at``          — raise an :class:`InjectedFault` (transient or
   permanent), which the :func:`~repro.robustness.resilient.resilient_ppsp`
-  fallback chain must absorb.
+  fallback chain must absorb;
+* ``stall_at``          — inject per-step latency in *simulated* time:
+  from the given step on, every step advances the injector's
+  :class:`~repro.robustness.clock.SimClock` by ``stall_seconds`` instead
+  of sleeping, so wall-time budgets, per-query deadlines, and circuit
+  breakers are testable deterministically (a straggler in fast-forward).
 
 Every decision flows from one seeded RNG plus hash-based per-vertex
 noise, so a chaos run is exactly reproducible from its seed.  Injection
@@ -96,6 +101,9 @@ class FaultInjector:
         perturb_scale: float = 100.0,
         raise_at: int | None = None,
         transient: bool = True,
+        stall_at: int | None = None,
+        stall_seconds: float = 0.05,
+        clock=None,
         max_fires: int = 1,
     ) -> None:
         self.rng = np.random.default_rng(seed)
@@ -110,6 +118,11 @@ class FaultInjector:
         self.perturb_scale = float(perturb_scale)
         self.raise_at = raise_at
         self.transient = transient
+        self.stall_at = stall_at
+        self.stall_seconds = float(stall_seconds)
+        #: the SimClock (anything with ``advance``) that stall faults
+        #: push forward; stalls are inert without one.
+        self.clock = clock
         self.max_fires = int(max_fires)
         #: chronological record of (step, fault-kind) injections.
         self.fired: list[tuple[int, str]] = []
@@ -139,6 +152,16 @@ class FaultInjector:
 
     def on_step_start(self, step: int, dist: np.ndarray, frontier, policy) -> None:
         """Called at the top of each engine step (before extraction)."""
+        if (
+            self.stall_at is not None
+            and step >= self.stall_at
+            and self.clock is not None
+            and self._armed()
+        ):
+            # One stall per step from stall_at on; max_fires bounds the
+            # straggler's total injected latency.
+            self.clock.advance(self.stall_seconds)
+            self._record(step, "stall")
         if self.raise_at == step and self._armed():
             self._record(step, "raise")
             raise InjectedFault(

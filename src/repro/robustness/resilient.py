@@ -95,6 +95,7 @@ def resilient_ppsp(
     reference_fallback: bool = True,
     fault_injector=None,
     observer=None,
+    breakers=None,
     **kwargs,
 ) -> ResilientAnswer:
     """Answer one query through the fallback chain.
@@ -123,6 +124,16 @@ def resilient_ppsp(
         Threaded into every engine rung, and notified of each attempt
         via ``on_fallback(method, attempt, outcome)`` — including the
         terminal Dijkstra rung.
+    breakers : repro.serve.BreakerBoard or None
+        Per-rung circuit breakers.  An open rung is skipped outright
+        (recorded as an ``"open"`` attempt with no engine work); every
+        admitted attempt reports its success or failure back, so a rung
+        that keeps failing trips open across *queries* and traffic
+        routes straight to the next rung until its half-open probe
+        succeeds.  Budget-exhausted rungs count as failures — a rung
+        that cannot answer inside its budget is overloaded.  The
+        terminal Dijkstra rung is never gated: it is the answer of last
+        resort.
 
     Remaining keyword arguments flow to :func:`repro.api.ppsp`.
     """
@@ -138,6 +149,11 @@ def resilient_ppsp(
             observer.on_fallback(report.method, report.attempt, report.outcome)
 
     for method in methods:
+        if breakers is not None and not breakers.allow(method):
+            # Tripped open: route to the next rung without paying the
+            # failure latency again (attempt 0 = no engine work done).
+            note(AttemptReport(method=method, attempt=0, outcome="open"))
+            continue
         for attempt in range(1, retries + 2):
             try:
                 ans = ppsp(
@@ -152,6 +168,8 @@ def resilient_ppsp(
                     **kwargs,
                 )
             except Exception as err:  # noqa: BLE001 — each rung must be contained
+                if breakers is not None:
+                    breakers.record_failure(method)
                 transient = bool(getattr(err, "transient", False))
                 note(AttemptReport(
                     method=method,
@@ -166,6 +184,8 @@ def resilient_ppsp(
                     continue
                 break  # permanent (or retries spent): next rung
             if ans.exact:
+                if breakers is not None:
+                    breakers.record_success(method)
                 note(AttemptReport(method=method, attempt=attempt, outcome="ok"))
                 return ResilientAnswer(
                     source=int(source),
@@ -177,6 +197,8 @@ def resilient_ppsp(
                     answer=ans,
                 )
             # Budget-exhausted: keep the bound, move down the chain.
+            if breakers is not None:
+                breakers.record_failure(method)
             note(AttemptReport(method=method, attempt=attempt, outcome="inexact"))
             if ans.distance < best_bound:
                 best_bound, best_answer, best_method = ans.distance, ans, method

@@ -1,0 +1,54 @@
+"""The serve layer: a fault-tolerant batch execution pipeline.
+
+What :mod:`repro.robustness` does for one query, this package does for
+a *batch job*: checkpoint/resume so a crash loses no answered query,
+per-query deadlines with graceful ``exact=False`` degradation,
+per-method circuit breakers with half-open recovery, and explicit
+load shedding under queue pressure.  See ``docs/robustness.md`` for the
+full story (checkpoint file format, breaker state machine) and
+``repro serve-batch`` for the CLI entry point.
+
+>>> from repro.serve import serve_batch
+>>> res = serve_batch(graph, pairs, method="multi",
+...                   checkpoint_path="job.ckpt.json", checkpoint_every=32)
+>>> res.counts()          # {'ok': 120}
+>>> # kill -9 mid-run, then:
+>>> res = serve_batch(graph, pairs, method="multi", resume=True,
+...                   checkpoint_path="job.ckpt.json", checkpoint_every=32)
+"""
+
+from .admission import (
+    FAILED,
+    INEXACT,
+    OK,
+    OUTCOMES,
+    SHED,
+    TIMEOUT,
+    AdmissionController,
+    ServeQuery,
+)
+from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
+from .checkpoint import CheckpointStore, batch_fingerprint
+from .pipeline import SERVE_METHODS, PipelineResult, ServePipeline, serve_batch
+
+__all__ = [
+    "serve_batch",
+    "ServePipeline",
+    "PipelineResult",
+    "SERVE_METHODS",
+    "ServeQuery",
+    "AdmissionController",
+    "CheckpointStore",
+    "batch_fingerprint",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "OK",
+    "INEXACT",
+    "SHED",
+    "TIMEOUT",
+    "FAILED",
+    "OUTCOMES",
+]

@@ -1,0 +1,492 @@
+"""The fault-tolerant batch pipeline: ``serve_batch`` and its machinery.
+
+:class:`ServePipeline` wraps the Sec.-4 batch solvers (and the
+single-query resilient chain) with the protections a long-running,
+many-query service needs:
+
+1. **Checkpoint/resume** — the admitted queries are processed in shards
+   of ``checkpoint_every``; after each shard a durable checkpoint
+   (:mod:`~repro.serve.checkpoint`) records every answer so far.  A
+   killed job re-run with ``resume=True`` skips completed shards and
+   re-executes only unanswered queries; because shard boundaries depend
+   only on the submitted batch, the resumed result is bit-identical to
+   an uninterrupted run.
+2. **Deadlines** — per-query deadlines (absolute, or a default
+   ``deadline_ms`` from admission) propagate into the engine as a
+   wall-time :class:`~repro.robustness.Budget`, so a query running into
+   its deadline returns the search's current upper bound with
+   ``exact=False`` instead of missing it; a deadline that expires while
+   the query is still queued yields an explicit ``timeout`` outcome.
+3. **Circuit breakers** — a :class:`~repro.serve.breaker.BreakerBoard`
+   guards the batch method and every resilient-chain rung.  A method
+   that keeps failing trips open and traffic routes to the next rung
+   without paying the failure again; half-open probes restore it once
+   it recovers.
+4. **Load shedding** — admission control
+   (:mod:`~repro.serve.admission`) bounds the queue and sheds the
+   lowest-priority queries with an explicit ``shed`` outcome rather
+   than degrading every answer.
+
+The pipeline is strictly opt-in: nothing in the core engine or the
+batch solvers changes when it is not used, preserving the zero-overhead
+default path the bench gate pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..api import validate_query
+from ..core.batch import BATCH_METHODS, BatchResult, solve_batch
+from ..parallel.cost_model import WorkDepthMeter
+from ..robustness.budget import Budget
+from ..robustness.clock import as_clock
+from ..robustness.resilient import DEFAULT_CHAIN, resilient_ppsp
+from .admission import FAILED, INEXACT, OK, SHED, TIMEOUT, AdmissionController, ServeQuery
+from .breaker import BreakerBoard
+from .checkpoint import CheckpointStore, batch_fingerprint
+
+__all__ = ["ServePipeline", "PipelineResult", "serve_batch", "SERVE_METHODS"]
+
+#: the batch strategies plus per-query resilient-chain execution.
+SERVE_METHODS = BATCH_METHODS + ("resilient",)
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced, per query and in aggregate.
+
+    ``distances`` holds a value for every *executed* query (``inf`` for
+    unreachable or timed-out ones); shed queries appear only in
+    ``shed``/``outcomes``.  ``exact[key]`` is False when that query's
+    answer is a budget/deadline-limited upper bound.
+    """
+
+    method: str
+    distances: dict[tuple[int, int], float]
+    exact: dict[tuple[int, int], bool]
+    outcomes: dict[tuple[int, int], str]
+    shed: list[tuple[int, int]] = field(default_factory=list)
+    timeouts: list[tuple[int, int]] = field(default_factory=list)
+    checkpoints_written: int = 0
+    resumed_queries: int = 0
+    breaker_states: dict[str, str] = field(default_factory=dict)
+    meter: WorkDepthMeter = field(default_factory=WorkDepthMeter)
+    details: dict = field(default_factory=dict)
+
+    def counts(self) -> dict[str, int]:
+        """Queries per outcome (including shed), for logs and the CLI."""
+        out: dict[str, int] = {}
+        for status in self.outcomes.values():
+            out[status] = out.get(status, 0) + 1
+        return dict(sorted(out.items()))
+
+    def distance(self, s: int, t: int) -> float:
+        """Per-pair lookup with the same semantics as ``BatchResult``."""
+        return self.to_batch_result().distance(s, t)
+
+    def to_batch_result(self) -> BatchResult:
+        """The run as a :class:`~repro.core.batch.BatchResult` façade."""
+        return BatchResult(
+            distances=dict(self.distances),
+            meter=self.meter,
+            method=f"serve:{self.method}",
+            num_searches=int(self.details.get("num_searches", 0)),
+            exact=all(self.exact.values()) if self.exact else True,
+            details=dict(self.details),
+            shed=set(self.shed),
+        )
+
+
+class ServePipeline:
+    """A resilient executor for one batch workload on one graph.
+
+    Parameters
+    ----------
+    graph : Graph
+        The input graph (validated per query at admission).
+    method : str
+        One of :data:`SERVE_METHODS`: a Sec.-4 batch strategy executed
+        per shard, or ``"resilient"`` to run every query individually
+        through the breaker-guarded fallback chain.
+    checkpoint_path : str or None
+        Manifest path for durable checkpoints (sidecar ``.npz`` derived
+        from it); ``None`` disables checkpointing.
+    checkpoint_every : int
+        Queries per shard — the checkpoint granularity *and* the resume
+        re-execution unit.
+    deadline_ms : float or None
+        Default per-query deadline, assigned at admission relative to
+        the pipeline clock; explicit ``ServeQuery.deadline`` values win.
+    max_queue : int or None
+        Admission capacity; excess queries are shed lowest-priority
+        first.
+    budget : Budget or None
+        Base per-shard execution budget, combined with deadline-derived
+        wall-time limits (each shard meters it fresh).
+    breakers : BreakerBoard or None
+        Share a board across pipelines; by default a private board is
+        built from ``breaker_threshold``/``breaker_cooldown``.
+    resilient_methods : tuple of str
+        Rung order for chain execution and shard fallback.
+    retries : int
+        Transient-failure retries per rung (see ``resilient_ppsp``).
+    clock : callable or SimClock or None
+        Time source for deadlines and breaker cooldowns; ``None`` means
+        real time.  Chaos tests pass a
+        :class:`~repro.robustness.SimClock` shared with the injector.
+    fault_injector : FaultInjector or None
+        Threaded into every engine run (chaos testing).
+    observer : repro.obs.Observer or None
+        Receives serve counters (outcomes, shed, deadline misses,
+        checkpoints), breaker gauge transitions, and a span per shard.
+    checkpoint_hook : callable or None
+        ``checkpoint_hook(manifest)`` after each durable write — the
+        crash/resume tests raise from here to simulate a kill exactly
+        at a checkpoint boundary.
+    strategy_factory : callable or None
+        Forwarded to :func:`~repro.core.batch.solve_batch`.
+    """
+
+    def __init__(
+        self,
+        graph,
+        *,
+        method: str = "multi",
+        checkpoint_path=None,
+        checkpoint_every: int = 16,
+        deadline_ms: float | None = None,
+        max_queue: int | None = None,
+        budget: Budget | None = None,
+        breakers: BreakerBoard | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        resilient_methods: tuple[str, ...] = DEFAULT_CHAIN,
+        retries: int = 1,
+        clock=None,
+        fault_injector=None,
+        observer=None,
+        checkpoint_hook=None,
+        strategy_factory=None,
+    ) -> None:
+        if method not in SERVE_METHODS:
+            raise ValueError(f"unknown serve method {method!r}; options: {SERVE_METHODS}")
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if deadline_ms is not None and deadline_ms < 0:
+            raise ValueError(f"deadline_ms must be nonnegative, got {deadline_ms}")
+        self.graph = graph
+        self.method = method
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = int(checkpoint_every)
+        self.deadline_ms = deadline_ms
+        self.max_queue = max_queue
+        self.budget = budget
+        self.retries = int(retries)
+        self.resilient_methods = tuple(resilient_methods)
+        self._now = as_clock(clock)
+        self.observer = observer
+        self.fault_injector = fault_injector
+        self.checkpoint_hook = checkpoint_hook
+        self.strategy_factory = strategy_factory
+        self.breakers = breakers if breakers is not None else BreakerBoard(
+            failure_threshold=breaker_threshold,
+            cooldown=breaker_cooldown,
+            clock=clock,
+            observer=observer,
+        )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _normalize(self, queries) -> list[ServeQuery]:
+        """Submissions -> validated, deduplicated ``ServeQuery`` list.
+
+        Accepts ``ServeQuery`` objects, ``(s, t)`` pairs, and
+        ``(s, t, priority)`` triples.  Exact-duplicate keys collapse
+        (keeping the highest priority and earliest deadline) so shard
+        accounting maps one-to-one onto answer keys.
+        """
+        out: list[ServeQuery] = []
+        by_key: dict[tuple[int, int], ServeQuery] = {}
+        default_deadline = (
+            None if self.deadline_ms is None else self._now() + self.deadline_ms / 1000.0
+        )
+        for q in queries:
+            if not isinstance(q, ServeQuery):
+                q = ServeQuery(*q)
+            validate_query(self.graph, q.source, q.target)
+            if q.deadline is None:
+                q.deadline = default_deadline
+            prev = by_key.get(q.key)
+            if prev is not None:
+                prev.priority = max(prev.priority, q.priority)
+                if q.deadline is not None:
+                    prev.deadline = (
+                        q.deadline if prev.deadline is None
+                        else min(prev.deadline, q.deadline)
+                    )
+                continue
+            by_key[q.key] = q
+            out.append(q)
+        return out
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, queries, *, resume: bool = False) -> PipelineResult:
+        """Answer the batch; see the class docstring for the guarantees."""
+        obs = self.observer
+        submitted = self._normalize(queries)
+        result = PipelineResult(
+            method=self.method, distances={}, exact={}, outcomes={},
+        )
+        self._meter = result.meter
+        self._num_searches = 0
+        if not submitted:
+            result.details["empty"] = True
+            return result
+
+        admitted, shed = AdmissionController(self.max_queue).admit(submitted)
+        for q in shed:
+            result.outcomes[q.key] = SHED
+            result.shed.append(q.key)
+            if obs is not None:
+                obs.on_serve_query(SHED)
+
+        shards = [
+            admitted[i : i + self.checkpoint_every]
+            for i in range(0, len(admitted), self.checkpoint_every)
+        ]
+        fingerprint = batch_fingerprint(
+            self.graph, admitted, self.method, self.checkpoint_every
+        )
+
+        store = None
+        completed: set[int] = set()
+        if self.checkpoint_path is not None:
+            store = CheckpointStore(self.checkpoint_path)
+            if resume:
+                completed = self._restore(store, fingerprint, shards, result)
+        elif resume:
+            raise ValueError("resume=True needs a checkpoint_path to resume from")
+
+        for si, shard in enumerate(shards):
+            if si in completed:
+                continue
+            if obs is not None:
+                with obs.span("serve-shard"):
+                    shard_results = self._run_shard(shard)
+            else:
+                shard_results = self._run_shard(shard)
+            for key, (dist, exact, status) in shard_results.items():
+                result.distances[key] = dist
+                result.exact[key] = exact
+                result.outcomes[key] = status
+                if status == TIMEOUT:
+                    result.timeouts.append(key)
+                if obs is not None:
+                    obs.on_serve_query(status)
+            completed.add(si)
+            if store is not None:
+                self._checkpoint(store, fingerprint, shards, completed, result)
+                result.checkpoints_written += 1
+
+        result.breaker_states = self.breakers.states()
+        result.details["num_shards"] = len(shards)
+        result.details["num_searches"] = self._num_searches
+        return result
+
+    # ------------------------------------------------------------------
+    def _restore(
+        self,
+        store: CheckpointStore,
+        fingerprint: dict,
+        shards: list[list[ServeQuery]],
+        result: PipelineResult,
+    ) -> set[int]:
+        """Fold a prior checkpoint into ``result``; completed shard ids."""
+        loaded = store.load()
+        if loaded is None:
+            return set()
+        manifest, arrays = loaded
+        store.verify_fingerprint(manifest, fingerprint)
+        answered = {
+            (int(s), int(t)): (float(d), bool(e))
+            for s, t, d, e in zip(arrays["s"], arrays["t"], arrays["dist"], arrays["exact"])
+        }
+        outcomes = manifest.get("outcomes", {})
+        completed = set(int(i) for i in manifest.get("completed_shards", ()))
+        for si in completed:
+            for q in shards[si]:
+                dist, exact = answered[q.key]
+                status = outcomes.get(f"{q.source}->{q.target}", OK)
+                result.distances[q.key] = dist
+                result.exact[q.key] = exact
+                result.outcomes[q.key] = status
+                if status == TIMEOUT:
+                    result.timeouts.append(q.key)
+                result.resumed_queries += 1
+        if self.observer is not None:
+            self.observer.on_checkpoint("resume")
+        return completed
+
+    def _checkpoint(
+        self,
+        store: CheckpointStore,
+        fingerprint: dict,
+        shards: list[list[ServeQuery]],
+        completed: set[int],
+        result: PipelineResult,
+    ) -> None:
+        """Write one durable checkpoint covering every completed shard."""
+        keys = [
+            q.key for si in sorted(completed) for q in shards[si]
+        ]
+        manifest = {
+            "fingerprint": fingerprint,
+            "method": self.method,
+            "checkpoint_every": self.checkpoint_every,
+            "num_shards": len(shards),
+            "completed_shards": sorted(completed),
+            "outcomes": {
+                f"{s}->{t}": result.outcomes[(s, t)] for s, t in keys
+            },
+        }
+        store.save(
+            manifest,
+            s=[k[0] for k in keys],
+            t=[k[1] for k in keys],
+            dist=[result.distances[k] for k in keys],
+            exact=[result.exact[k] for k in keys],
+        )
+        if self.observer is not None:
+            self.observer.on_checkpoint("write")
+        if self.checkpoint_hook is not None:
+            # Fires *after* the durable write: a hook that raises models
+            # a crash at exactly a checkpoint boundary.
+            self.checkpoint_hook(manifest)
+
+    # ------------------------------------------------------------------
+    def _run_shard(self, shard: list[ServeQuery]) -> dict:
+        """Execute one shard -> ``{key: (distance, exact, status)}``."""
+        now = self._now()
+        results: dict[tuple[int, int], tuple[float, bool, str]] = {}
+        live: list[ServeQuery] = []
+        for q in shard:
+            if q.deadline is not None and q.deadline <= now:
+                results[q.key] = (float("inf"), False, TIMEOUT)
+                if self.observer is not None:
+                    self.observer.on_deadline_miss()
+            else:
+                live.append(q)
+        if not live:
+            return results
+        if self.method == "resilient":
+            for q in live:
+                results[q.key] = self._run_query_chain(q)
+        else:
+            results.update(self._run_shard_batch(live))
+        return results
+
+    def _shard_budget(self, live: list[ServeQuery]) -> Budget | None:
+        """Base budget limits merged with the shard's earliest deadline."""
+        deadlines = [q.deadline for q in live if q.deadline is not None]
+        wall = None
+        if deadlines:
+            wall = max(min(deadlines) - self._now(), 0.0)
+        base = self.budget
+        if base is None and wall is None:
+            return None
+        if base is None:
+            return Budget(wall_time=wall, clock=self._now)
+        walls = [w for w in (base.wall_time, wall) if w is not None]
+        return Budget(
+            max_steps=base.max_steps,
+            max_relaxations=base.max_relaxations,
+            wall_time=min(walls) if walls else None,
+            clock=base.clock if base.clock is not None else self._now,
+        )
+
+    def _run_shard_batch(self, live: list[ServeQuery]) -> dict:
+        """One shard through the configured batch method, breaker-gated.
+
+        The batch method's breaker counts *exceptions* (a budget trip is
+        graceful degradation, not a failure).  While it is open — or
+        when the shard's run raises — every query of the shard routes
+        through the per-query resilient chain instead, whose rungs carry
+        their own breakers.
+        """
+        results: dict[tuple[int, int], tuple[float, bool, str]] = {}
+        board = self.breakers
+        if board.allow(self.method):
+            budget = self._shard_budget(live)
+            try:
+                res = solve_batch(
+                    self.graph,
+                    [q.key for q in live],
+                    method=self.method,
+                    budget=budget,
+                    strategy_factory=self.strategy_factory,
+                    fault_injector=self.fault_injector,
+                    observer=self.observer,
+                )
+            except Exception:  # noqa: BLE001 — shard failure must be contained
+                board.record_failure(self.method)
+            else:
+                board.record_success(self.method)
+                self._meter.merge(res.meter)
+                self._num_searches += res.num_searches
+                status = OK if res.exact else INEXACT
+                for q in live:
+                    results[q.key] = (res.distance(*q.key), res.exact, status)
+                return results
+        for q in live:
+            results[q.key] = self._run_query_chain(q)
+        return results
+
+    def _run_query_chain(self, q: ServeQuery) -> tuple[float, bool, str]:
+        """One query through the breaker-guarded resilient chain."""
+        deadline_wall = None
+        if q.deadline is not None:
+            deadline_wall = max(q.deadline - self._now(), 0.0)
+        base = self.budget
+        if base is None and deadline_wall is None:
+            budget = None
+        elif base is None:
+            budget = Budget(wall_time=deadline_wall, clock=self._now)
+        else:
+            walls = [w for w in (base.wall_time, deadline_wall) if w is not None]
+            budget = Budget(
+                max_steps=base.max_steps,
+                max_relaxations=base.max_relaxations,
+                wall_time=min(walls) if walls else None,
+                clock=base.clock if base.clock is not None else self._now,
+            )
+        try:
+            ans = resilient_ppsp(
+                self.graph,
+                q.source,
+                q.target,
+                methods=self.resilient_methods,
+                budget=budget,
+                retries=self.retries,
+                breakers=self.breakers,
+                fault_injector=self.fault_injector,
+                observer=self.observer,
+            )
+        except Exception:  # noqa: BLE001 — one query must not kill the batch
+            return (float("inf"), False, FAILED)
+        if ans.answer is not None:
+            self._meter.merge(ans.answer.run.meter)
+        return (float(ans.distance), bool(ans.exact), OK if ans.exact else INEXACT)
+
+
+def serve_batch(graph, queries, *, resume: bool = False, **kwargs) -> PipelineResult:
+    """One-shot convenience wrapper: build a pipeline and run it.
+
+    Keyword arguments are :class:`ServePipeline` parameters; ``resume``
+    continues from the checkpoint at ``checkpoint_path`` when one
+    exists.
+    """
+    return ServePipeline(graph, **kwargs).run(queries, resume=resume)

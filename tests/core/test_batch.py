@@ -156,7 +156,17 @@ class TestBatchResult:
         res = solve_batch(line_graph, [(0, 3)])
         assert res.distance(0, 3) == res.distance(3, 0) == 6.0
 
-    def test_missing_query_raises(self, line_graph):
+    def test_missing_query_raises_naming_the_pair(self, line_graph):
         res = solve_batch(line_graph, [(0, 3)])
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match=r"\(1, 2\)"):
             res.distance(1, 2)
+        # ... in either orientation: the reversed key must not surface
+        # as a bare KeyError.
+        with pytest.raises(ValueError, match="never part of this batch"):
+            res.distance(2, 1)
+
+    def test_shed_pair_returns_inf(self, line_graph):
+        res = solve_batch(line_graph, [(0, 3)])
+        res.shed.add((1, 2))
+        assert res.distance(1, 2) == float("inf")
+        assert res.distance(2, 1) == float("inf")  # reversed orientation too

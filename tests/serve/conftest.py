@@ -1,0 +1,21 @@
+"""Shared fixtures for the serve-pipeline suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import road_graph
+from repro.graphs.connectivity import largest_component
+
+
+@pytest.fixture(scope="module")
+def serve_graph():
+    """An 8x8 road grid — small enough that chaos suites stay fast."""
+    return road_graph(8, 8, seed=7, name="serve-road")
+
+
+@pytest.fixture(scope="module")
+def serve_pairs(serve_graph):
+    """Eight deterministic (s, t) pairs inside the largest component."""
+    lcc = [int(v) for v in largest_component(serve_graph)]
+    return [(lcc[i], lcc[len(lcc) - 1 - i]) for i in range(8)]

@@ -1,0 +1,102 @@
+"""Circuit breakers: the state machine, the board, and the metrics mirror."""
+
+import pytest
+
+from repro.obs import Observer
+from repro.robustness import SimClock
+from repro.serve import BreakerBoard, CircuitBreaker
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, STATE_VALUES
+
+pytestmark = pytest.mark.serve
+
+
+class TestCircuitBreaker:
+    def test_trips_after_k_consecutive_failures(self):
+        b = CircuitBreaker("m", failure_threshold=3, clock=SimClock())
+        for _ in range(2):
+            b.record_failure()
+        assert b.state == CLOSED and b.allow()
+        b.record_failure()
+        assert b.state == OPEN and not b.allow()
+
+    def test_success_resets_consecutive_count(self):
+        b = CircuitBreaker("m", failure_threshold=2, clock=SimClock())
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == CLOSED  # never two *consecutive* failures
+
+    def test_half_open_probe_recovers(self):
+        sim = SimClock()
+        b = CircuitBreaker("m", failure_threshold=1, cooldown=10.0, clock=sim)
+        b.record_failure()
+        assert not b.allow()
+        sim.advance(10.0)
+        assert b.allow()  # the probe is admitted...
+        assert b.state == HALF_OPEN
+        b.record_success()
+        assert b.state == CLOSED and b.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        sim = SimClock()
+        b = CircuitBreaker("m", failure_threshold=3, cooldown=5.0, clock=sim)
+        for _ in range(3):
+            b.record_failure()
+        sim.advance(5.0)
+        assert b.allow() and b.state == HALF_OPEN
+        b.record_failure()  # one probe failure suffices, not K
+        assert b.state == OPEN and not b.allow()
+        sim.advance(4.9)
+        assert not b.allow()  # cooldown restarted from the reopen
+
+    def test_transition_log_is_chronological(self):
+        sim = SimClock()
+        b = CircuitBreaker("m", failure_threshold=1, cooldown=2.0, clock=sim)
+        b.record_failure()
+        sim.advance(2.0)
+        b.allow()
+        b.record_success()
+        assert [s for _, s in b.transitions] == [OPEN, HALF_OPEN, CLOSED]
+        assert [t for t, _ in b.transitions] == [0.0, 2.0, 2.0]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker("m", failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            CircuitBreaker("m", cooldown=-1.0)
+
+
+class TestBreakerBoard:
+    def test_lazy_per_method_isolation(self):
+        board = BreakerBoard(failure_threshold=1, clock=SimClock())
+        board.record_failure("bidastar")
+        assert board.state("bidastar") == OPEN
+        assert board.state("bids") == CLOSED
+        assert board.allow("bids") and not board.allow("bidastar")
+        assert board.states() == {"bidastar": OPEN, "bids": CLOSED}
+
+    def test_observer_sees_gauge_and_transitions(self):
+        obs = Observer()
+        sim = SimClock()
+        board = BreakerBoard(failure_threshold=1, cooldown=3.0, clock=sim, observer=obs)
+        board.allow("multi")  # creation: gauge set, no transition counted
+        text = obs.export_text()
+        assert 'repro_breaker_state{method="multi"} 0' in text
+        assert 'repro_breaker_transitions_total{method="multi"' not in text
+
+        board.record_failure("multi")
+        sim.advance(3.0)
+        board.allow("multi")
+        board.record_success("multi")
+        text = obs.export_text()
+        assert 'repro_breaker_state{method="multi"} 0' in text  # closed again
+        assert 'repro_breaker_transitions_total{method="multi",to="open"} 1' in text
+        assert 'repro_breaker_transitions_total{method="multi",to="half-open"} 1' in text
+        assert 'repro_breaker_transitions_total{method="multi",to="closed"} 1' in text
+
+    def test_gauge_encoding_matches_state_values(self):
+        obs = Observer()
+        board = BreakerBoard(failure_threshold=1, clock=SimClock(), observer=obs)
+        board.record_failure("et")
+        assert STATE_VALUES[OPEN] == 2
+        assert 'repro_breaker_state{method="et"} 2' in obs.export_text()

@@ -1,0 +1,146 @@
+"""Checkpoint store: atomicity, fingerprints, corruption detection."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve import CheckpointStore, ServeQuery, batch_fingerprint
+from repro.serve.checkpoint import CHECKPOINT_KIND
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "job.json")
+
+
+def _queries(n=4):
+    return [ServeQuery(i, i + 10, priority=i % 2) for i in range(n)]
+
+
+def _save_minimal(store, fingerprint=None):
+    store.save(
+        {"fingerprint": fingerprint or {}, "completed_shards": [0]},
+        s=[0, 1], t=[10, 11], dist=[1.5, 2.5], exact=[True, False],
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_distances_bitwise(self, store):
+        dist = [np.nextafter(1.0, 2.0), float("inf"), 2.0 / 3.0]
+        store.save({"completed_shards": [0]},
+                   s=[0, 1, 2], t=[3, 4, 5], dist=dist, exact=[True, True, False])
+        manifest, arrays = store.load()
+        assert manifest["kind"] == CHECKPOINT_KIND
+        assert arrays["dist"].dtype == np.float64
+        # bit-identical: no JSON decimal round-trip of the float64 values
+        assert [float(d) for d in arrays["dist"]] == dist
+        assert list(arrays["exact"]) == [True, True, False]
+
+    def test_load_absent_returns_none(self, store):
+        assert store.load() is None
+
+    def test_clear_removes_both_files(self, store):
+        _save_minimal(store)
+        assert store.exists()
+        store.clear()
+        assert not store.exists() and store.load() is None
+        store.clear()  # idempotent
+
+    def test_manifest_path_must_not_collide_with_sidecar(self, tmp_path):
+        with pytest.raises(ValueError, match="npz"):
+            CheckpointStore(tmp_path / "job.npz")
+
+    def test_no_tmp_files_left_behind(self, store, tmp_path):
+        _save_minimal(store)
+        assert not [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+
+
+class TestValidation:
+    def test_rejects_foreign_json(self, store):
+        _save_minimal(store)
+        with open(store.path, "w") as fh:
+            json.dump({"kind": "something-else"}, fh)
+        with pytest.raises(ValueError, match="not a serve checkpoint"):
+            store.load()
+
+    def test_rejects_future_version(self, store):
+        _save_minimal(store)
+        with open(store.path) as fh:
+            manifest = json.load(fh)
+        manifest["version"] = 99
+        with open(store.path, "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(ValueError, match="version"):
+            store.load()
+
+    def test_rejects_corrupt_sidecar_lengths(self, store):
+        _save_minimal(store)
+        np.savez(store.sidecar, s=np.array([0]), t=np.array([10, 11]),
+                 dist=np.array([1.0, 2.0]), exact=np.array([True, False]))
+        with pytest.raises(ValueError, match="corrupt"):
+            store.load()
+
+
+class TestFingerprint:
+    def test_same_job_matches(self, serve_graph, store):
+        fp = batch_fingerprint(serve_graph, _queries(), "multi", 2)
+        _save_minimal(store, fp)
+        manifest, _ = store.load()
+        store.verify_fingerprint(manifest, fp)  # no raise
+
+    @pytest.mark.parametrize(
+        "mutate, named_field",
+        [
+            (lambda g, qs: (g, qs[:-1]), "num_queries"),
+            (lambda g, qs: (g, list(reversed(qs))), "queries_sha256"),
+        ],
+    )
+    def test_changed_queries_detected(self, serve_graph, store, mutate, named_field):
+        fp = batch_fingerprint(serve_graph, _queries(), "multi", 2)
+        _save_minimal(store, fp)
+        manifest, _ = store.load()
+        g2, q2 = mutate(serve_graph, _queries())
+        fp2 = batch_fingerprint(g2, q2, "multi", 2)
+        with pytest.raises(ValueError, match=named_field):
+            store.verify_fingerprint(manifest, fp2)
+
+    def test_changed_method_and_shard_size_detected(self, serve_graph, store):
+        fp = batch_fingerprint(serve_graph, _queries(), "multi", 2)
+        _save_minimal(store, fp)
+        manifest, _ = store.load()
+        with pytest.raises(ValueError, match="method"):
+            store.verify_fingerprint(
+                manifest, batch_fingerprint(serve_graph, _queries(), "sssp-vc", 2))
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            store.verify_fingerprint(
+                manifest, batch_fingerprint(serve_graph, _queries(), "multi", 3))
+
+    def test_changed_graph_detected(self, serve_graph, store):
+        from repro.graphs import road_graph
+
+        fp = batch_fingerprint(serve_graph, _queries(), "multi", 2)
+        _save_minimal(store, fp)
+        manifest, _ = store.load()
+        other = road_graph(8, 8, seed=99, name="serve-road")  # same name, other weights
+        fp2 = batch_fingerprint(other, _queries(), "multi", 2)
+        with pytest.raises(ValueError, match="graph"):
+            store.verify_fingerprint(manifest, fp2)
+
+    def test_priorities_are_part_of_identity(self, serve_graph):
+        a = batch_fingerprint(serve_graph, _queries(), "multi", 2)
+        bumped = _queries()
+        bumped[0].priority += 1
+        b = batch_fingerprint(serve_graph, bumped, "multi", 2)
+        assert a["queries_sha256"] != b["queries_sha256"]
+
+    def test_deadlines_are_not_part_of_identity(self, serve_graph):
+        a = batch_fingerprint(serve_graph, _queries(), "multi", 2)
+        dated = _queries()
+        for q in dated:
+            q.deadline = 123.0
+        b = batch_fingerprint(serve_graph, dated, "multi", 2)
+        assert a["queries_sha256"] == b["queries_sha256"]

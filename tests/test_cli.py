@@ -250,3 +250,54 @@ class TestBenchCommand:
         assert summary["comparison"]["baseline_file"] == "BENCH_2.json"
         assert summary["comparison"]["status"] == "ok"
         assert rc == 0
+
+
+class TestServeBatch:
+    def test_inline_pairs_json_payload(self, road_file, capsys):
+        rc = main(["serve-batch", "--graph", road_file, "0", "50", "10", "99"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "multi"
+        assert payload["counts"] == {"ok": 2}
+        assert set(payload["results"]) == {"0->50", "10->99"}
+        for entry in payload["results"].values():
+            assert entry["exact"] is True and entry["outcome"] == "ok"
+
+    def test_pairs_file_with_priorities_and_shedding(self, road_file, tmp_path, capsys):
+        pf = tmp_path / "pairs.txt"
+        pf.write_text("0 50 0\n10 99 5\n20 80 1\n")
+        rc = main(["serve-batch", "--graph", road_file, "--pairs-file", str(pf),
+                   "--max-queue", "2"])
+        assert rc == 0  # shedding is explicit degradation, not failure
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"ok": 2, "shed": 1}
+        assert payload["shed"] == ["0->50"]  # the lowest-priority submission
+
+    def test_checkpoint_and_resume(self, road_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "job.json")
+        argv = ["serve-batch", "--graph", road_file, "--checkpoint", ckpt,
+                "--checkpoint-every", "1", "0", "50", "10", "99"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["checkpoints_written"] == 2
+        assert first["checkpoint"] == ckpt
+        assert main(argv + ["--resume"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["resumed_queries"] == 2
+        assert second["results"] == first["results"]  # bit-identical off disk
+
+    def test_resilient_method_reports_breakers(self, road_file, capsys):
+        rc = main(["serve-batch", "--graph", road_file, "--method", "resilient",
+                   "0", "50"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"ok": 1}
+        assert payload["breakers"].get("bidastar") == "closed"
+
+    def test_odd_inline_pairs_rejected(self, road_file):
+        with pytest.raises(SystemExit):
+            main(["serve-batch", "--graph", road_file, "0", "1", "2"])
+
+    def test_empty_input_rejected(self, road_file):
+        with pytest.raises(SystemExit, match="no queries"):
+            main(["serve-batch", "--graph", road_file])
