@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-slow chaos serve bench stats reproduce reproduce-tiny report examples clean
+.PHONY: install test test-slow chaos verify-chaos serve bench stats reproduce reproduce-tiny report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,6 +14,12 @@ test:
 # detected by checked mode or recovered by the fallback chain.
 chaos:
 	$(PYTHON) -m pytest tests/robustness/ -q
+
+# Certificate chaos sweep: every bit-flip corruption class (distances,
+# cache payloads, checkpoint sidecars) x every serve method x seeds,
+# checked end-to-end against ground truth — zero silent wrong answers.
+verify-chaos:
+	$(PYTHON) -m pytest tests/verify/ -q -m ''
 
 # Serve-pipeline suite: checkpoint/resume determinism, deadlines,
 # circuit breakers, load shedding (docs/robustness.md).

@@ -14,7 +14,18 @@ Quickstart::
     print(ans.distance, len(ans.path()))
 """
 
-from . import analysis, baselines, core, graphs, heuristics, parallel, perf, robustness, serve
+from . import (
+    analysis,
+    baselines,
+    core,
+    graphs,
+    heuristics,
+    parallel,
+    perf,
+    robustness,
+    serve,
+    verify,
+)
 from .api import (
     BATCH_METHODS,
     PPSP_METHODS,
@@ -54,8 +65,14 @@ from .serve import (
     ServeQuery,
     serve_batch,
 )
+from .verify import (
+    Certificate,
+    CertificateChecker,
+    CheckReport,
+    build_certificate,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ppsp",
@@ -91,6 +108,10 @@ __all__ = [
     "ServeQuery",
     "CircuitBreaker",
     "BreakerBoard",
+    "Certificate",
+    "CertificateChecker",
+    "CheckReport",
+    "build_certificate",
     "graphs",
     "core",
     "heuristics",
@@ -99,5 +120,7 @@ __all__ = [
     "analysis",
     "perf",
     "robustness",
+    "serve",
+    "verify",
     "__version__",
 ]

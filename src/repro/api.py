@@ -83,6 +83,8 @@ class PPSPAnswer:
     run: RunResult
     exact: bool = True
     budget_report: object | None = None
+    #: set by ``ppsp(..., certify=True)`` — see :mod:`repro.verify`.
+    certificate: object | None = None
 
     def path(self) -> list[int]:
         """A shortest s-t vertex path (raises PathError if unreachable)."""
@@ -114,6 +116,7 @@ def ppsp(
     budget=None,
     checked: bool = False,
     auditor=None,
+    certify: bool = False,
     **engine_kwargs,
 ) -> PPSPAnswer:
     """Exact shortest s-t distance with the chosen algorithm.
@@ -127,6 +130,9 @@ def ppsp(
     bound with ``exact=False``.  ``checked=True`` runs under a fresh
     :class:`repro.robustness.InvariantAuditor` (or pass ``auditor=``),
     raising ``InvariantViolation`` if a framework invariant breaks.
+    ``certify=True`` attaches a :class:`repro.verify.Certificate`
+    (witness path + lower-bound evidence) to the answer; degraded
+    answers get one-sided upper-bound certificates.
     """
     validate_query(graph, source, target)
     if checked and auditor is None:
@@ -151,6 +157,8 @@ def ppsp(
         )
     else:
         raise ValueError(f"unknown method {method!r}; options: {PPSP_METHODS}")
+    if certify:
+        engine_kwargs.setdefault("track_processed", True)
     run = run_policy(
         graph, policy, strategy=strategy, budget=budget, auditor=auditor, **engine_kwargs
     )
@@ -158,15 +166,46 @@ def ppsp(
         distance = float(run.answer[target])
     else:
         distance = float(run.answer)
+    exact = not run.exhausted
+    certificate = None
+    if certify:
+        from .verify import certificate_for_run  # lazy: verify imports obs
+
+        certificate = certificate_for_run(
+            graph, int(source), int(target), method, distance, exact, run,
+            heuristic_bound=_certified_bound(graph, source, target, method, heuristic,
+                                             heuristic_to_source, heuristic_to_target),
+        )
     return PPSPAnswer(
         source=int(source),
         target=int(target),
         distance=distance,
         method=method,
         run=run,
-        exact=not run.exhausted,
+        exact=exact,
         budget_report=run.budget_report,
+        certificate=certificate,
     )
+
+
+def _certified_bound(
+    graph, source, target, method, heuristic, heuristic_to_source, heuristic_to_target
+):
+    """h(s) for the certificate, or None when it cannot be vouched for.
+
+    Only the *default geometric* heuristic is certifiable — the checker
+    recomputes it from coordinates.  User-supplied heuristics may be
+    admissible, but the checker has no way to re-derive them, so they
+    are left out of the certificate rather than trusted blindly.
+    """
+    if method not in ("astar", "bidastar") or not graph.has_coords():
+        return None
+    if heuristic is not None or heuristic_to_source is not None or heuristic_to_target is not None:
+        return None
+    from .heuristics import make_heuristic  # lazy: optional dependency path
+
+    h = make_heuristic(graph, int(target), memoize=False)
+    return float(h(np.asarray([int(source)]))[0])
 
 
 def batch_ppsp(graph, queries, *, method: str = "multi", **kwargs) -> BatchResult:

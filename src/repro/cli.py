@@ -7,7 +7,11 @@ entry point):
 * ``batch``    — a batch of queries (pairs on the command line or a file);
 * ``serve-batch`` — the fault-tolerant batch pipeline: durable
   checkpoints with ``--resume``, per-query deadlines, per-method
-  circuit breakers, and priority-based load shedding;
+  circuit breakers, priority-based load shedding, and ``--verify``
+  (certificate-check every answer, repair refuted ones; ``--chaos-*``
+  flags inject seeded bit-flip corruption to exercise it);
+* ``verify``   — one certified query: emit its certificate and run the
+  independent checker on it;
 * ``trace``    — a query's full per-step engine trace (table or JSON);
 * ``bench``    — the benchmark-regression harness (emits ``BENCH_<i>.json``);
 * ``generate`` — build a suite-style synthetic graph and save it;
@@ -214,6 +218,62 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    """One certified query plus an independent certificate check."""
+    from .verify import CertificateChecker
+
+    graph = _load_graph(args.graph)
+    ans = ppsp(graph, args.source, args.target, method=args.method,
+               budget=_parse_budget(args.budget), certify=True)
+    cert = ans.certificate
+    report = CertificateChecker(tolerance=args.tolerance).check(
+        graph, cert, expected_distance=ans.distance
+    )
+    payload = {
+        "source": ans.source,
+        "target": ans.target,
+        "method": ans.method,
+        "distance": ans.distance,
+        "exact": ans.exact,
+        "certificate": {
+            "kind": cert.kind,
+            "path_length": None if cert.path is None else len(cert.path),
+            "facts": len(cert.facts),
+            "mu": cert.mu,
+            "heuristic_bound": cert.heuristic_bound,
+            "graph_fingerprint": cert.graph_fingerprint,
+        },
+        "check": {
+            "valid": report.valid,
+            "proven": report.proven,
+            "checks": report.checks,
+            "failures": report.failures,
+        },
+    }
+    print(json.dumps(payload, indent=2))
+    if args.cert_out:
+        with open(args.cert_out, "w") as fh:
+            fh.write(cert.to_json(indent=2))
+            fh.write("\n")
+        print(f"wrote certificate to {args.cert_out}", file=sys.stderr)
+    return 0 if report.valid else 1
+
+
+def _serve_chaos_injector(args):
+    """Build the seeded FaultInjector the --chaos-* flags describe."""
+    if not (args.chaos_flip_dist or args.chaos_flip_checkpoint):
+        return None
+    from .robustness import FaultInjector
+
+    return FaultInjector(
+        seed=args.chaos_seed,
+        flip_dist_at=2 if args.chaos_flip_dist else None,
+        flip_dist_count=args.chaos_flip_dist or 1,
+        flip_checkpoint=bool(args.chaos_flip_checkpoint),
+        max_fires=args.chaos_fires,
+    )
+
+
 def _cmd_serve_batch(args) -> int:
     """The fault-tolerant batch pipeline (checkpoints, deadlines, breakers)."""
     from .serve import ServePipeline
@@ -250,6 +310,8 @@ def _cmd_serve_batch(args) -> int:
         budget=_parse_budget(args.budget),
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown=args.breaker_cooldown,
+        verify=args.verify,
+        fault_injector=_serve_chaos_injector(args),
     )
     res = pipeline.run(queries, resume=args.resume)
     payload = {
@@ -270,6 +332,8 @@ def _cmd_serve_batch(args) -> int:
     }
     if args.checkpoint:
         payload["checkpoint"] = args.checkpoint
+    if args.verify:
+        payload["verification"] = res.details.get("verification", {})
     print(json.dumps(payload, indent=2))
     # Shed/timed-out queries are a degraded (but explicit) service level,
     # not a failure; only a query with no answer at all is one.
@@ -434,8 +498,41 @@ def build_parser() -> argparse.ArgumentParser:
                     help="consecutive failures that trip a method's breaker open")
     sv.add_argument("--breaker-cooldown", type=float, default=30.0,
                     help="seconds an open breaker waits before a half-open probe")
+    sv.add_argument("--verify", action="store_true",
+                    help="certificate-check every answer before it is "
+                         "returned; refuted answers are repaired by an "
+                         "exact recompute (outcome 'repaired')")
+    sv.add_argument("--chaos-flip-dist", type=int, metavar="N",
+                    help="inject N seeded bit-flips into tentative "
+                         "distances per fault firing (chaos testing)")
+    sv.add_argument("--chaos-flip-checkpoint", action="store_true",
+                    help="flip one byte of each written checkpoint "
+                         "sidecar (chaos testing)")
+    sv.add_argument("--chaos-seed", type=int, default=0,
+                    help="seed for the chaos fault injector")
+    sv.add_argument("--chaos-fires", type=int, default=1,
+                    help="total faults the chaos injector may fire")
     sv.add_argument("pairs", nargs="*", help="s1 t1 s2 t2 ...")
     sv.set_defaults(func=_cmd_serve_batch)
+
+    v = sub.add_parser(
+        "verify",
+        help="one certified query: emit the certificate, run the "
+             "independent checker on it",
+    )
+    v.add_argument("--graph", required=True)
+    v.add_argument("--source", type=int, required=True)
+    v.add_argument("--target", type=int, required=True)
+    v.add_argument("--method", default="bids",
+                   choices=("sssp", "et", "bids", "astar", "bidastar"))
+    v.add_argument("--budget", metavar="SPEC",
+                   help="execution budget; a budget-degraded answer gets a "
+                        "one-sided upper-bound certificate")
+    v.add_argument("--tolerance", type=float, default=1e-6,
+                   help="relative tolerance of the checker's comparisons")
+    v.add_argument("--cert-out", metavar="PATH",
+                   help="also write the certificate JSON here")
+    v.set_defaults(func=_cmd_verify)
 
     t = sub.add_parser("trace", help="full per-step engine trace of one query")
     t.add_argument("--graph", required=True)

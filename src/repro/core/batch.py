@@ -52,6 +52,9 @@ class BatchResult:
     details: dict = field(default_factory=dict)
     exact: bool = True
     shed: set = field(default_factory=set)
+    #: per-pair :class:`repro.verify.Certificate`, keyed like
+    #: ``distances``; populated by ``solve_batch(..., certify=True)``.
+    certificates: dict | None = field(default=None, repr=False)
     _path_state: dict | None = field(default=None, repr=False)
 
     def distance(self, s: int, t: int) -> float:
@@ -142,6 +145,7 @@ def solve_batch(
     budget=None,
     arena=None,
     observer=None,
+    certify: bool = False,
     **engine_kwargs,
 ) -> BatchResult:
     """Answer a batch of PPSP queries.
@@ -175,6 +179,12 @@ def solve_batch(
     ``observer`` (a :class:`repro.obs.Observer`) is threaded into every
     engine run this batch launches and receives one ``on_batch``
     notification for the combined result.
+
+    ``certify=True`` attaches a :class:`repro.verify.Certificate` per
+    answered pair (``BatchResult.certificates``): witness path plus
+    relaxation facts sampled from the settled frontiers, built while the
+    solver's dist rows are still alive.  Budget-degraded answers get
+    one-sided upper-bound certificates.
     """
     if method not in BATCH_METHODS:
         raise ValueError(f"unknown batch method {method!r}; options: {BATCH_METHODS}")
@@ -205,24 +215,34 @@ def solve_batch(
         engine_kwargs = {**engine_kwargs, "arena": arena}
     if observer is not None:
         engine_kwargs = {**engine_kwargs, "observer": observer}
+    if certify:
+        engine_kwargs = {**engine_kwargs, "track_processed": True}
 
     if method == "multi":
         if max_sources is not None and qg.num_vertices > max_sources:
             res = _solve_multi_chunked(
-                graph, qg, strategy_factory, engine_kwargs, max_sources
+                graph, qg, strategy_factory, engine_kwargs, max_sources, certify
             )
         else:
-            res = _solve_multi(graph, qg, strategy_factory(), engine_kwargs)
+            res = _solve_multi(graph, qg, strategy_factory(), engine_kwargs, certify)
     elif method == "plain-bids":
-        res = _solve_plain_bids(graph, qg, strategy_factory, engine_kwargs, concurrent=False)
+        res = _solve_plain_bids(
+            graph, qg, strategy_factory, engine_kwargs, concurrent=False, certify=certify
+        )
     elif method == "plain-star-bids":
-        res = _solve_plain_bids(graph, qg, strategy_factory, engine_kwargs, concurrent=True)
+        res = _solve_plain_bids(
+            graph, qg, strategy_factory, engine_kwargs, concurrent=True, certify=certify
+        )
     elif method == "sssp-plain":
         sources = _plain_sssp_sources(qg)
-        res = _solve_sssp(graph, qg, sources, strategy_factory, engine_kwargs, "sssp-plain")
+        res = _solve_sssp(
+            graph, qg, sources, strategy_factory, engine_kwargs, "sssp-plain", certify
+        )
     else:
         cover = qg.vertex_cover()
-        res = _solve_sssp(graph, qg, cover, strategy_factory, engine_kwargs, "sssp-vc")
+        res = _solve_sssp(
+            graph, qg, cover, strategy_factory, engine_kwargs, "sssp-vc", certify
+        )
 
     if bmeter is not None:
         report = bmeter.report()
@@ -249,9 +269,33 @@ def _validate_endpoints(graph, qg: QueryGraph) -> None:
 
 
 # ----------------------------------------------------------------------
-def _solve_multi(graph, qg: QueryGraph, strategy, engine_kwargs) -> BatchResult:
+def _solve_multi(graph, qg: QueryGraph, strategy, engine_kwargs, certify=False) -> BatchResult:
     policy = MultiPPSP(qg)
     res = run_policy(graph, policy, strategy=strategy, **engine_kwargs)
+    certs = None
+    if certify:
+        from ..verify import build_certificate  # lazy: verify imports obs
+
+        exact = not res.exhausted
+        pd = res.processed_dist
+        certs = {}
+        for key, (i, j) in _edge_index(qg).items():
+            s, t = key
+            # Row j mirrors BatchResult.path: the target copy's search,
+            # traversing the reverse orientation when the query graph
+            # marked it as a backward copy (directed Sec. 4.4 split).
+            rev_j = bool(
+                graph.directed and qg.direction is not None and qg.direction[j] < 0
+            )
+            certs[key] = build_certificate(
+                graph, s, t, "multi", res.answer[key], exact,
+                dist_forward=res.dist[i],
+                dist_backward=res.dist[j],
+                backward_reversed=rev_j,
+                processed_forward=None if pd is None else pd[i],
+                processed_backward=None if pd is None else pd[j],
+                mu=res.answer[key] if exact else None,
+            )
     return BatchResult(
         distances=res.answer,
         meter=res.meter,
@@ -259,6 +303,7 @@ def _solve_multi(graph, qg: QueryGraph, strategy, engine_kwargs) -> BatchResult:
         num_searches=qg.num_vertices,
         exact=not res.exhausted,
         details={"steps": res.steps, "relaxations": res.relaxations},
+        certificates=certs,
         _path_state={
             "kind": "multi",
             "graph": graph,
@@ -278,7 +323,7 @@ def _edge_index(qg: QueryGraph) -> dict[tuple[int, int], tuple[int, int]]:
 
 
 def _solve_multi_chunked(
-    graph, qg: QueryGraph, strategy_factory, engine_kwargs, max_sources: int
+    graph, qg: QueryGraph, strategy_factory, engine_kwargs, max_sources: int, certify=False
 ) -> BatchResult:
     """Multi-BiDS over query subsets of bounded endpoint count.
 
@@ -308,14 +353,17 @@ def _solve_multi_chunked(
     searches = 0
     exact = True
     chunk_states: list[dict] = []
+    certs: dict | None = {} if certify else None
     for pairs in chunks:
         sub = QueryGraph(pairs, directed=qg.directed)
-        res = _solve_multi(graph, sub, strategy_factory(), engine_kwargs)
+        res = _solve_multi(graph, sub, strategy_factory(), engine_kwargs, certify)
         distances.update(res.distances)
         combined.merge(res.meter)
         searches += res.num_searches
         exact = exact and res.exact
         chunk_states.append(res._path_state)
+        if certs is not None and res.certificates:
+            certs.update(res.certificates)
     return BatchResult(
         distances=distances,
         meter=combined,
@@ -323,23 +371,32 @@ def _solve_multi_chunked(
         num_searches=searches,
         exact=exact,
         details={"chunks": len(chunks), "max_sources": max_sources},
+        certificates=certs,
         _path_state={"kind": "chunked", "chunks": chunk_states},
     )
 
 
 def _solve_plain_bids(
-    graph, qg: QueryGraph, strategy_factory, engine_kwargs, *, concurrent: bool
+    graph, qg: QueryGraph, strategy_factory, engine_kwargs, *, concurrent: bool, certify=False
 ) -> BatchResult:
     distances: dict[tuple[int, int], float] = {}
     meters: list[WorkDepthMeter] = []
     verts = qg.vertices
     exact = True
+    certs: dict | None = {} if certify else None
+    if certify:
+        from ..verify import certificate_for_run  # lazy: verify imports obs
     for i, j in qg.edges:
         s, t = int(verts[i]), int(verts[j])
         res = run_policy(graph, BiDS(s, t), strategy=strategy_factory(), **engine_kwargs)
         distances[(s, t)] = res.answer
         meters.append(res.meter)
         exact = exact and not res.exhausted
+        if certs is not None:
+            # Built per run, while this run's dist rows are still alive.
+            certs[(s, t)] = certificate_for_run(
+                graph, s, t, "bids", float(res.answer), not res.exhausted, res
+            )
     combined = WorkDepthMeter()
     if concurrent:
         combined.merge_parallel(meters)
@@ -352,6 +409,7 @@ def _solve_plain_bids(
         method="plain-star-bids" if concurrent else "plain-bids",
         num_searches=2 * qg.num_edges,
         exact=exact,
+        certificates=certs,
     )
 
 
@@ -362,7 +420,8 @@ def _plain_sssp_sources(qg: QueryGraph) -> np.ndarray:
 
 
 def _solve_sssp(
-    graph, qg: QueryGraph, source_indices: np.ndarray, strategy_factory, engine_kwargs, name: str
+    graph, qg: QueryGraph, source_indices: np.ndarray, strategy_factory, engine_kwargs,
+    name: str, certify=False,
 ) -> BatchResult:
     """Run full SSSP from the given query-graph vertices, combine answers.
 
@@ -371,6 +430,9 @@ def _solve_sssp(
     """
     verts = qg.vertices
     rows: dict[int, np.ndarray] = {}
+    prows: dict[int, np.ndarray] = {}
+    row_exact: dict[int, bool] = {}
+    row_reversed: dict[int, bool] = {}
     combined = WorkDepthMeter()
     exact = True
     for qi in source_indices:
@@ -385,8 +447,13 @@ def _solve_sssp(
         rows[int(qi)] = res.distances_from(0)
         combined.merge(res.meter)
         exact = exact and not res.exhausted
+        row_exact[int(qi)] = not res.exhausted
+        row_reversed[int(qi)] = reverse
+        if certify and res.processed_dist is not None:
+            prows[int(qi)] = res.processed_dist[0]
     covered = set(int(q) for q in source_indices)
     distances: dict[tuple[int, int], float] = {}
+    certs: dict | None = {} if certify else None
     for i, j in qg.edges:
         s, t = int(verts[i]), int(verts[j])
         if s == t:
@@ -401,12 +468,18 @@ def _solve_sssp(
                 f"query ({s}, {t}) not covered by SSSP sources; "
                 f"method {name!r} needs a covering source set"
             )
+        if certs is not None:
+            certs[(s, t)] = _sssp_certificate(
+                graph, qg, name, s, t, i, j, distances[(s, t)],
+                rows, prows, covered, row_exact, row_reversed,
+            )
     return BatchResult(
         distances=distances,
         meter=combined,
         method=name,
         num_searches=len(source_indices),
         exact=exact,
+        certificates=certs,
         _path_state={
             "kind": "sssp",
             "graph": graph,
@@ -415,4 +488,41 @@ def _solve_sssp(
             "covered": covered,
             "edge_index": _edge_index(qg),
         },
+    )
+
+
+def _sssp_certificate(
+    graph, qg, name, s, t, i, j, distance, rows, prows, covered, row_exact, row_reversed
+):
+    """Certificate for one query answered by a covering SSSP row.
+
+    Mirrors :meth:`BatchResult.path` orientation logic: a query covered
+    by its target endpoint walks the target's row (over the reverse
+    orientation for directed target copies) and flips the result.
+    """
+    from ..core.paths import PathError, walk_path
+    from ..verify import build_certificate
+
+    if s == t:
+        return build_certificate(graph, s, t, name, 0.0, True)
+    if i in covered:
+        return build_certificate(
+            graph, s, t, name, distance, row_exact[i],
+            dist_forward=rows[i],
+            processed_forward=prows.get(i),
+        )
+    rev = bool(row_reversed[j])
+    g_row = graph.reverse() if (graph.directed and rev) else graph
+    path = None
+    if np.isfinite(distance):
+        try:
+            path = walk_path(g_row, rows[j], t, s)[::-1]
+        except (PathError, ValueError, IndexError):
+            path = None
+    return build_certificate(
+        graph, s, t, name, distance, row_exact[j],
+        dist_backward=rows[j],
+        backward_reversed=rev,
+        processed_backward=prows.get(j),
+        path=path,
     )

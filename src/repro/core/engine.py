@@ -70,6 +70,10 @@ class RunResult:
     graph: "Graph"
     exhausted: bool = False
     budget_report: object | None = None
+    #: with ``track_processed=True``: the ``(k, n)`` snapshot of each
+    #: element's tentative distance at its most recent extraction (inf =
+    #: never relaxed).  Certificates sample relaxation facts from it.
+    processed_dist: np.ndarray | None = None
 
     def distances_from(self, source_index: int = 0) -> np.ndarray:
         """Tentative distances from one source (full SSSP row)."""
@@ -118,6 +122,14 @@ class PPSPEngine:
         :class:`~repro.core.tracing.StepTrace` if the caller didn't)
         and folded into the observer's metrics and current span at run
         end.  ``None`` — the default — costs one ``is None`` test.
+    track_processed : bool
+        Record, per element, the tentative distance it held when it was
+        last extracted for relaxation (``RunResult.processed_dist``).
+        Certificate emission (:mod:`repro.verify`) samples sound
+        relaxation facts from this snapshot: an extracted element
+        relaxed *all* its out-edges, so ``dist[v] <= snapshot[u] + w``
+        must hold at termination.  Off by default — the extra ``(k*n,)``
+        buffer and per-step scatter stay out of the hot path.
     """
 
     def __init__(
@@ -133,6 +145,7 @@ class PPSPEngine:
         fault_injector=None,
         arena=None,
         observer=None,
+        track_processed: bool = False,
     ) -> None:
         self.graph = graph
         self.strategy = strategy if strategy is not None else default_strategy(graph)
@@ -144,6 +157,7 @@ class PPSPEngine:
         self.fault_injector = fault_injector
         self.arena = arena
         self.observer = observer
+        self.track_processed = track_processed
 
     # ------------------------------------------------------------------
     def run(
@@ -172,6 +186,13 @@ class PPSPEngine:
         else:
             dist = np.full(k * n, np.inf, dtype=np.float64)
         meter = meter if meter is not None else WorkDepthMeter()
+        # Certificate support: snapshot of dist[e] at e's last extraction.
+        # Allocated outside the arena — it outlives the run inside results.
+        pdist = (
+            np.full(k * n, np.inf, dtype=np.float64)
+            if self.track_processed
+            else None
+        )
         self.strategy.reset()
 
         seeds, seed_vals = policy.bind(graph, dist)
@@ -251,6 +272,12 @@ class PPSPEngine:
             improved_count = 0
             changed_kept = empty
             if len(process):
+                if pdist is not None:
+                    # Values about to be used for relaxation.  A later
+                    # group may lower some of them mid-step, so the
+                    # snapshot is an upper bound on the value actually
+                    # used — which keeps dist[v] <= pdist[u] + w sound.
+                    pdist[process] = dist[process]
                 changed_all: list[np.ndarray] = []
                 for graph_obj, source_mask in groups:
                     if source_mask is None:
@@ -318,6 +345,7 @@ class PPSPEngine:
             graph=graph,
             exhausted=exhausted_reason is not None,
             budget_report=bmeter.report() if bmeter is not None else None,
+            processed_dist=pdist.reshape(k, n) if pdist is not None else None,
         )
         if observer is not None:
             observer.end_run(result, trace)
@@ -423,6 +451,7 @@ def run_policy(
     arena=None,
     observer=None,
     trace=None,
+    track_processed: bool = False,
 ) -> RunResult:
     """One-shot convenience wrapper around :class:`PPSPEngine`."""
     engine = PPSPEngine(
@@ -436,5 +465,6 @@ def run_policy(
         fault_injector=fault_injector,
         arena=arena,
         observer=observer,
+        track_processed=track_processed,
     )
     return engine.run(policy, meter=meter, trace=trace)

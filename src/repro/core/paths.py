@@ -35,13 +35,23 @@ def walk_path(graph, dist: np.ndarray, source: int, target: int) -> list[int]:
     rev = graph if not graph.directed else graph.reverse()
     source = int(source)
     target = int(target)
-    # DFS over the valid-predecessor relation (u -> v is valid when
-    # dist[u] + w(u, v) == dist[v]).  A greedy single walk is not enough:
-    # on a zero-weight plateau every neighbor looks equally good and a
-    # wrong witness can strand the walk in an already-visited pocket, so
-    # we must be able to back out.  Strict-progress candidates
-    # (dist[u] < dist[v]) are pushed last and therefore explored first;
-    # plateau hops only when forced.
+    return _walk_path_dfs(rev, dist, source, target)
+
+
+def _walk_path_dfs(rev, dist: np.ndarray, source: int, target: int) -> list[int]:
+    """Backtracking walk over the valid-predecessor relation.
+
+    Scalar scans over the cached ``csr_lists()`` view: at typical
+    road/knn degrees each hop touches a handful of edges, where numpy
+    scalar indexing and boxing dominate the walk.
+    A greedy single walk is not enough: on a zero-weight plateau every
+    neighbor looks equally good and a wrong witness can strand the walk
+    in an already-visited pocket, so we must be able to back out.
+    Strict-progress candidates (dist[u] < dist[v]) are pushed last and
+    therefore explored first; plateau hops only when forced.
+    """
+    indptr, indices, weights = rev.csr_lists()
+    ditem = dist.item
     stack = [target]
     parent: dict[int, int | None] = {target: None}
     while stack:
@@ -53,13 +63,22 @@ def walk_path(graph, dist: np.ndarray, source: int, target: int) -> list[int]:
                 path.append(u)
                 u = parent[u]
             return path
-        nbrs = rev.neighbors(v)
-        ws = rev.neighbor_weights(v)
-        ok = np.isclose(dist[nbrs] + ws, dist[v], rtol=_REL_TOL, atol=_ABS_TOL)
-        ok &= np.isfinite(dist[nbrs])
-        candidates = nbrs[ok]
-        for u in candidates[np.argsort(-dist[candidates], kind="stable")]:
-            u = int(u)
+        dv = ditem(v)
+        tol = _ABS_TOL + _REL_TOL * abs(dv)
+        candidates = []
+        for e in range(indptr[v], indptr[v + 1]):
+            u = indices[e]
+            if u in parent:
+                continue
+            du = ditem(u)
+            # |dist[u] + w - dist[v]| <= atol + rtol * |dist[v]| —
+            # np.isclose semantics; an unreachable du (inf) overflows the
+            # bound and drops out without a separate finiteness mask.
+            if abs(du + weights[e] - dv) <= tol:
+                candidates.append((du, u))
+        # Descending-distance push order; stable for plateau ties.
+        candidates.sort(key=lambda c: c[0], reverse=True)
+        for _, u in candidates:
             if u not in parent:
                 parent[u] = v
                 stack.append(u)

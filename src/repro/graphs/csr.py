@@ -58,6 +58,9 @@ class Graph:
     coord_system: str | None = None
     name: str = "graph"
     _reverse: "Graph | None" = field(default=None, repr=False, compare=False)
+    _fingerprint: str | None = field(default=None, repr=False, compare=False)
+    _edge_src: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _csr_lists: tuple | None = field(default=None, repr=False, compare=False)
     #: pass ``validate=False`` to skip construction checks — only for
     #: diagnostic loads (``repro info``/``validate_graph`` on corrupt files).
     validate: InitVar[bool] = True
@@ -129,13 +132,67 @@ class Graph:
 
     def edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return (sources, targets, weights) arrays of all stored arcs."""
-        src = np.repeat(
-            np.arange(self.num_vertices, dtype=VERTEX_DTYPE), np.diff(self.indptr)
-        )
-        return src, self.indices.copy(), self.weights.copy()
+        return self.edge_sources().copy(), self.indices.copy(), self.weights.copy()
+
+    def edge_sources(self) -> np.ndarray:
+        """Source vertex per stored arc, aligned with ``indices`` (cached).
+
+        The CSR expansion ``repeat(arange(n), degree)`` — O(m) once, then
+        reused by every edge-parallel sweep (e.g. path reconstruction).
+        A view of the cache: do not mutate.  Same frozen-graph contract
+        as :meth:`fingerprint`.
+        """
+        if self._edge_src is None:
+            self._edge_src = np.repeat(
+                np.arange(self.num_vertices, dtype=VERTEX_DTYPE), np.diff(self.indptr)
+            )
+        return self._edge_src
+
+    def csr_lists(self) -> tuple[list[int], list[int], list[float]]:
+        """``(indptr, indices, weights)`` as plain Python lists (cached).
+
+        The scalar walks (path reconstruction, per-hop certificate
+        checks) touch a handful of edges per vertex, where numpy scalar
+        indexing plus ``int()``/``float()`` boxing costs several times
+        the comparison itself; list indexing returns native objects.
+        O(m) to build once, then shared by every walk.  Views of the
+        cache: do not mutate.  Same frozen-graph contract as
+        :meth:`fingerprint`.
+        """
+        if self._csr_lists is None:
+            self._csr_lists = (
+                self.indptr.tolist(),
+                self.indices.tolist(),
+                self.weights.tolist(),
+            )
+        return self._csr_lists
 
     def has_coords(self) -> bool:
         return self.coords is not None
+
+    def fingerprint(self) -> str:
+        """Cheap content hash of the CSR arrays (cached).
+
+        A SHA-256 digest (first 16 hex chars) over topology, weights and
+        directedness — deliberately *not* over ``name``/``coords``, so
+        two loads of the same graph agree regardless of labeling.  Used
+        by checkpoint manifests and answer certificates to refuse
+        resuming/validating against a different graph.  The cache
+        assumes the graph is frozen; mutating arrays in place stales it
+        (the same contract as :meth:`repro.perf.WarmEngine.invalidate`).
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(b"csr-v1;")
+            h.update(str(self.num_vertices).encode())
+            h.update(b";d;" if self.directed else b";u;")
+            h.update(self.indptr.tobytes())
+            h.update(self.indices.tobytes())
+            h.update(self.weights.tobytes())
+            self._fingerprint = h.hexdigest()[:16]
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Derived graphs

@@ -128,7 +128,7 @@ class Observer:
         self._serve_queries = r.counter(
             "repro_serve_queries_total",
             "Serve-pipeline queries by terminal outcome "
-            "(ok / inexact / shed / timeout / failed)", ("outcome",))
+            "(ok / inexact / shed / timeout / failed / repaired)", ("outcome",))
         self._serve_deadline = r.counter(
             "repro_serve_deadline_misses_total",
             "Queries whose deadline expired before execution began")
@@ -142,6 +142,22 @@ class Observer:
         self._breaker_transitions = r.counter(
             "repro_breaker_transitions_total",
             "Circuit-breaker state transitions", ("method", "to"))
+        self._verify_checks = r.counter(
+            "repro_verify_checks_total",
+            "Certificate/answer verifications by outcome "
+            "(valid / invalid / unproven / confirmed)", ("outcome",))
+        self._verify_check_count = r.histogram(
+            "repro_verify_check_count",
+            "Individual facts checked per certificate verification",
+            buckets=(1, 2, 5, 10, 20, 50, 100, 200))
+        self._verify_repairs = r.counter(
+            "repro_verify_repairs_total",
+            "Exact recomputes triggered by refuted answers (repaired / failed)",
+            ("result",))
+        self._verify_quarantine = r.counter(
+            "repro_verify_quarantine_total",
+            "Corrupt state quarantined instead of served "
+            "(result-cache / checkpoint)", ("layer",))
 
     # ------------------------------------------------------------------
     # Spans
@@ -241,6 +257,32 @@ class Observer:
     def on_checkpoint(self, event: str) -> None:
         """Pipeline hook: a durable checkpoint was written or resumed."""
         self._serve_checkpoints.inc(event=event)
+
+    # ------------------------------------------------------------------
+    # Verification hooks (certificates, quarantine, repair)
+    # ------------------------------------------------------------------
+    def on_verify(self, outcome: str, *, checks: int = 0) -> None:
+        """One answer verification finished (valid / invalid / unproven /
+        confirmed); ``checks`` is the number of individual facts the
+        certificate checker evaluated."""
+        self._verify_checks.inc(outcome=outcome)
+        if checks:
+            self._verify_check_count.observe(checks)
+        if self._span is not None:
+            self._span.fold_verify(f"verify-{outcome}")
+
+    def on_repair(self, result: str) -> None:
+        """One exact recompute of a refuted answer (repaired / failed)."""
+        self._verify_repairs.inc(result=result)
+        if self._span is not None:
+            self._span.fold_verify(f"repair-{result}")
+
+    def on_quarantine(self, layer: str) -> None:
+        """Corrupt state dropped instead of served (result-cache /
+        checkpoint)."""
+        self._verify_quarantine.inc(layer=layer)
+        if self._span is not None:
+            self._span.fold_verify(f"quarantine-{layer}")
 
     def on_breaker(self, method: str, state: str, *, transition: bool = True) -> None:
         """Breaker hook: mirror the state machine onto the gauge.

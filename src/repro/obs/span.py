@@ -89,6 +89,7 @@ class QuerySpan:
     batch_searches: int = 0
     fallback_attempts: list = field(default_factory=list)
     retries: int = 0
+    verification: dict = field(default_factory=dict)
     wall_seconds: float = 0.0
 
     # ------------------------------------------------------------------
@@ -138,6 +139,10 @@ class QuerySpan:
         if attempt > 1:
             self.retries += 1
 
+    def fold_verify(self, event: str) -> None:
+        """Fold one verification event (check outcome / repair / quarantine)."""
+        self.verification[event] = self.verification.get(event, 0) + 1
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -171,6 +176,7 @@ class QuerySpan:
                 "attempts": self.fallback_attempts,
                 "retries": self.retries,
             },
+            "verification": self.verification,
             "wall_seconds": self.wall_seconds,
         }
 
@@ -205,6 +211,8 @@ class QuerySpan:
             batch_searches=payload.get("batch_searches", 0),
             fallback_attempts=fallback.get("attempts", []),
             retries=fallback.get("retries", 0),
+            # Absent in pre-1.5 span exports; default keeps those loading.
+            verification=payload.get("verification", {}),
             wall_seconds=payload.get("wall_seconds", 0.0),
         )
 

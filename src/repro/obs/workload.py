@@ -4,9 +4,12 @@ One deterministic pass that exercises every instrumented layer on one
 graph: each of the five single-query methods runs cold then warm (so
 the result/heuristic caches see both misses and hits), a Multi-BiDS
 batch runs over the same pairs, one resilient query walks the fallback
-chain, and a chaos-seeded serve pipeline trips a circuit breaker open,
+chain, a chaos-seeded serve pipeline trips a circuit breaker open,
 routes through the fallback rungs, and recovers it via a half-open
-probe (all on a simulated clock).  All randomness flows from one seed,
+probe (all on a simulated clock), and a verified serve run detects
+seeded bit-flip corruption and repairs it (exercising the certificate
+checker, repair, and quarantine counters).  All randomness flows from
+one seed,
 so the resulting metrics — everything except wall-clock histograms —
 are reproducible byte for byte, which is what lets the text exposition
 be pinned as a golden fixture (``tests/obs/test_stats_golden.py``).
@@ -54,6 +57,7 @@ def stats_workload(
     batch: bool = True,
     resilient: bool = True,
     serve: bool = True,
+    verify: bool = True,
     observer: Observer | None = None,
 ) -> Observer:
     """Run the observed workload and return the (filled) observer.
@@ -127,6 +131,33 @@ def stats_workload(
             span.exact = all(res.exact.values()) if res.exact else True
         sim.advance(10.0)  # past the cooldown: next run probes half-open
         with obs.span("serve-batch") as span:
+            res = pipe.run(pairs)
+            span.exact = all(res.exact.values()) if res.exact else True
+
+    if verify and len(pairs) >= 2:
+        # The verification story, two acts: a clean verified run proves
+        # every answer valid, then seeded bit-flips corrupt tentative
+        # distances mid-run and every corrupted answer is refuted by its
+        # certificate, repaired by an exact recompute, and re-proven —
+        # filling the verify/repair counter families deterministically.
+        from ..robustness.faults import FaultInjector
+        from ..serve import ServePipeline
+
+        with obs.span("serve-verify") as span:
+            res = ServePipeline(
+                graph, method="multi", verify=True, observer=obs
+            ).run(pairs)
+            span.exact = all(res.exact.values()) if res.exact else True
+        pipe = ServePipeline(
+            graph,
+            method="multi",
+            verify=True,
+            observer=obs,
+            fault_injector=FaultInjector(
+                seed=seed, flip_dist_at=2, flip_dist_count=8, max_fires=4
+            ),
+        )
+        with obs.span("serve-verify") as span:
             res = pipe.run(pairs)
             span.exact = all(res.exact.values()) if res.exact else True
     return obs

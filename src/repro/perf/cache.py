@@ -111,6 +111,15 @@ class ResultCache:
     def put(self, source: int, target: int, method: str, answer) -> None:
         self._lru.put(self._key(source, target, method), answer)
 
+    def evict(self, source: int, target: int, method: str) -> bool:
+        """Drop one entry (quarantine); True when something was removed.
+
+        Unlike :meth:`invalidate` this is surgical — used by
+        certificate-verified serving to quarantine a single corrupt
+        payload without throwing away every other good answer.
+        """
+        return self._lru.pop(self._key(source, target, method), _MISSING) is not _MISSING
+
     def invalidate(self) -> None:
         self._lru.clear()
 

@@ -46,14 +46,21 @@ METHODS = ("sssp", "et", "astar", "bids", "bidastar")
 BATCH_METHODS = ("multi", "plain-bids", "sssp-vc")
 #: the acceptance bar: warm repeated-query throughput vs cold start.
 MIN_WARM_SPEEDUP = 3.0
+#: the acceptance bar: serve-time certificate verification on a clean
+#: workload must cost less than this fraction of the unverified run.
+VERIFY_MAX_OVERHEAD = 0.15
 # Wall-clock baselines shorter than this are too noisy to gate on.
 _WALL_FLOOR_S = 5e-3
 
 SCALES = {
     "tiny": dict(road_side=8, knn_points=120, num_pairs=3, repeats=2,
-                 warm_rounds=4, batch_pairs=4),
+                 warm_rounds=4, batch_pairs=4,
+                 verify_road_side=16, verify_pairs=6),
     "small": dict(road_side=16, knn_points=400, num_pairs=4, repeats=3,
-                  warm_rounds=6, batch_pairs=6),
+                  warm_rounds=6, batch_pairs=6,
+                  # Large enough that the serve baseline clears the wall
+                  # floor, so the verify-overhead gate actually engages.
+                  verify_road_side=96, verify_pairs=12),
 }
 
 
@@ -180,10 +187,11 @@ def run_benchmark(scale: str = "small") -> dict:
                 "num_searches": res.num_searches,
             }
 
-    gates = _gates(single)
+    verify = _verify_overhead(wl)
+    gates = _gates(single, verify)
     return {
-        "schema": SCHEMA,  # additive sections (e.g. "obs") do NOT bump this:
-        # the workload key must stay comparable across snapshots.
+        "schema": SCHEMA,  # additive sections (e.g. "obs", "verify") do NOT
+        # bump this: the workload key must stay comparable across snapshots.
         "kind": "repro-bench",
         "workload_key": _workload_key(scale),
         "scale": scale,
@@ -203,6 +211,7 @@ def run_benchmark(scale: str = "small") -> dict:
         "batch": batch,
         "arena": arena_checks,
         "obs": _observed_metrics(wl),
+        "verify": verify,
         "gates": gates,
     }
 
@@ -254,7 +263,57 @@ def _observed_metrics(wl: dict) -> dict:
     return out
 
 
-def _gates(single: dict) -> dict:
+def _verify_overhead(wl: dict) -> dict:
+    """Additive ``"verify"`` section: serve-time verification cost.
+
+    Serves a dedicated seeded road workload (``verify_road_side`` /
+    ``verify_pairs`` in the scale config — large enough at gated scales
+    that the search dominates, the regime verification is built for)
+    through :class:`ServePipeline` twice per round — plain, then with
+    ``verify=True`` — and records the relative wall overhead of
+    certificate emission + checking.  Rounds interleave the two sides
+    so machine drift cancels; each side keeps its best-of-N.  A plain
+    baseline below ``_WALL_FLOOR_S`` is recorded but ungated —
+    sub-millisecond ratios are scheduler noise, not signal.
+    """
+    from ..graphs import road_graph
+    from ..graphs.connectivity import largest_component
+    from ..serve import ServePipeline
+
+    cfg = wl["config"]
+    side = cfg["verify_road_side"]
+    g = road_graph(side, side, seed=SEED, name="bench-verify-road")
+    rng = np.random.default_rng(SEED)
+    lcc = largest_component(g)
+    chosen = rng.choice(lcc, size=2 * cfg["verify_pairs"], replace=False)
+    pairs = [
+        (int(chosen[2 * j]), int(chosen[2 * j + 1]))
+        for j in range(cfg["verify_pairs"])
+    ]
+
+    rounds = 4
+    best = {"plain": float("inf"), "verified": float("inf")}
+    for _ in range(rounds):
+        for label, flag in (("plain", False), ("verified", True)):
+            pipe = ServePipeline(g, method="multi", verify=flag)
+            t0 = time.perf_counter()
+            pipe.run(pairs)
+            best[label] = min(best[label], time.perf_counter() - t0)
+    overhead = best["verified"] / best["plain"] - 1.0 if best["plain"] > 0 else 0.0
+    gated = best["plain"] >= _WALL_FLOOR_S
+    return {
+        "workload": {"road_side": side, "num_pairs": len(pairs), "method": "multi"},
+        "plain_s": best["plain"],
+        "verified_s": best["verified"],
+        "overhead": overhead,
+        "gated": gated,
+        "max_allowed_overhead": VERIFY_MAX_OVERHEAD,
+        "worst_gated_overhead": overhead if gated else None,
+        "pass": (not gated) or overhead <= VERIFY_MAX_OVERHEAD,
+    }
+
+
+def _gates(single: dict, verify: dict) -> dict:
     """The acceptance gates computed from the measured workload."""
     speedups = {}
     for method in ("astar", "bidastar"):
@@ -268,7 +327,10 @@ def _gates(single: dict) -> dict:
         "min_required_warm_speedup": MIN_WARM_SPEEDUP,
         "warm_speedup_astar": speedups.get("astar"),
         "warm_speedup_bidastar": speedups.get("bidastar"),
-        "pass": all(v >= MIN_WARM_SPEEDUP for v in speedups.values()),
+        "max_verify_overhead": VERIFY_MAX_OVERHEAD,
+        "verify_overhead": verify["worst_gated_overhead"],
+        "pass": all(v >= MIN_WARM_SPEEDUP for v in speedups.values())
+        and verify["pass"],
     }
 
 

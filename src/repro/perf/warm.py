@@ -30,7 +30,7 @@ Caches assume the graph is frozen; after mutating it in place call
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -71,6 +71,10 @@ class WarmAnswer:
     work: float = 0.0
     depth: float = 0.0
     path_vertices: tuple[int, ...] | None = None
+    #: attached under ``verify_hits=True`` so cache hits can be
+    #: re-validated; excluded from equality (two answers with the same
+    #: values are the same answer, certified or not).
+    certificate: object | None = field(default=None, compare=False)
 
     @property
     def reachable(self) -> bool:
@@ -122,6 +126,20 @@ class WarmEngine:
         and an attached landmark set reports its h-row memo hits.  When
         ``None`` (the default) the warm path is bit-identical to the
         uninstrumented engine.
+    verify_hits : bool
+        Certificate-validate every result-cache hit before serving it
+        (:mod:`repro.verify`).  A hit that fails its check is
+        **quarantined**: evicted and recomputed fresh, never served.
+        Fresh computations get certificates attached so later hits are
+        checkable.  Off by default — the cost is one O(path + k) check
+        per hit plus certificate construction per miss.
+    checker : CertificateChecker, optional
+        Override the default checker (e.g. a looser tolerance).
+    fault_injector : FaultInjector, optional
+        Chaos hook: its ``corrupt_warm_answer`` is applied to every
+        cache hit before verification, modeling in-cache payload
+        corruption (the bytes in the cache go bad, not just the served
+        copy).
     """
 
     def __init__(
@@ -136,6 +154,9 @@ class WarmEngine:
         frontier_mode: str = "auto",
         pull_relax: bool = False,
         observer=None,
+        verify_hits: bool = False,
+        checker=None,
+        fault_injector=None,
     ) -> None:
         self.graph = graph
         self.landmarks = landmarks
@@ -148,9 +169,18 @@ class WarmEngine:
         self._strategy_factory = strategy_factory
         self._frontier_mode = frontier_mode
         self._pull_relax = pull_relax
+        self.verify_hits = bool(verify_hits)
+        self.fault_injector = fault_injector
+        self._checker = checker
+        if self.verify_hits and self._checker is None:
+            from ..verify import CertificateChecker  # lazy: verify imports obs
+
+            self._checker = CertificateChecker()
         self._engine = self._make_engine()
         self.queries = 0
         self.batches = 0
+        #: cache hits evicted because their certificate failed.
+        self.quarantined = 0
 
     def _make_engine(self) -> PPSPEngine:
         strategy = self._strategy_factory() if self._strategy_factory else None
@@ -161,6 +191,7 @@ class WarmEngine:
             pull_relax=self._pull_relax,
             arena=self.arena,
             observer=self.observer,
+            track_processed=self.verify_hits,
         )
 
     # ------------------------------------------------------------------
@@ -254,9 +285,12 @@ class WarmEngine:
             hit = self.results.get(source, target, method)
             if hit is not None and (hit.path_vertices is not None or not path
                                     or not hit.reachable or source == target):
-                if observer is not None:
-                    observer.on_cache("result", "hit")
-                return replace(hit, cached=True)
+                if self.verify_hits:
+                    hit = self._verified_hit(source, target, method, hit)
+                if hit is not None:
+                    if observer is not None:
+                        observer.on_cache("result", "hit")
+                    return replace(hit, cached=True)
             if observer is not None:
                 observer.on_cache("result", "miss")
 
@@ -280,6 +314,15 @@ class WarmEngine:
                 else:
                     p = walk_path(self.graph, run.dist[0], source, target)
                 path_vertices = tuple(int(v) for v in p)
+            certificate = None
+            if self.verify_hits:
+                # Built while the pooled dist rows are still alive.
+                from ..verify import certificate_for_run
+
+                certificate = certificate_for_run(
+                    self.graph, source, target, method,
+                    distance, not run.exhausted, run,
+                )
 
         answer = WarmAnswer(
             source=source,
@@ -293,6 +336,7 @@ class WarmEngine:
             work=float(run.meter.work),
             depth=float(run.meter.depth),
             path_vertices=path_vertices,
+            certificate=certificate,
         )
         if use_cache and answer.exact:
             before = self.results.evictions
@@ -300,6 +344,40 @@ class WarmEngine:
             if observer is not None and self.results.evictions > before:
                 observer.on_cache("result", "evict")
         return answer
+
+    def _verified_hit(self, source, target, method, hit):
+        """Certificate-check one cache hit; None means quarantined/unusable.
+
+        The fault injector (when armed) corrupts the payload first and
+        the corrupted copy is written back — the cache itself now holds
+        bad bytes, exactly like real in-memory corruption, so eviction
+        (not mere recomputation) is what keeps it from resurfacing.
+        """
+        observer = self.observer
+        if self.fault_injector is not None:
+            corrupted = self.fault_injector.corrupt_warm_answer(hit)
+            if corrupted is not hit:
+                self.results.put(source, target, method, corrupted)
+                hit = corrupted
+        if hit.certificate is None:
+            # Uncertified entry (cached before verify_hits was enabled):
+            # nothing to vouch for it — recompute and replace.
+            if observer is not None:
+                observer.on_verify("unproven")
+            return None
+        report = self._checker.check(
+            self.graph, hit.certificate, expected_distance=hit.distance
+        )
+        if report.valid:
+            if observer is not None:
+                observer.on_verify("valid", checks=report.checks)
+            return hit
+        self.results.evict(source, target, method)
+        self.quarantined += 1
+        if observer is not None:
+            observer.on_verify("invalid", checks=report.checks)
+            observer.on_quarantine("result-cache")
+        return None
 
     def batch(
         self,
@@ -323,6 +401,9 @@ class WarmEngine:
         self.batches += 1
         if self.observer is not None and "observer" not in kwargs:
             kwargs = {**kwargs, "observer": self.observer}
+        if self.verify_hits:
+            # Certified folds: later verified hits need evidence.
+            kwargs.setdefault("certify", True)
         if keep_paths:
             res = solve_batch(self.graph, queries, method=method, **kwargs)
         else:
@@ -332,10 +413,12 @@ class WarmEngine:
                 )
                 res._path_state = None
         if res.exact:
+            certs = res.certificates or {}
             for (s, t), d in res.distances.items():
                 cached = WarmAnswer(
                     source=int(s), target=int(t), method="bids",
                     distance=float(d), exact=True,
+                    certificate=certs.get((s, t)),
                 )
                 self.results.put(int(s), int(t), "bids", cached)
         return res
@@ -364,6 +447,8 @@ class WarmEngine:
             "heuristics": self._heuristics.stats(),
             "arena": self.arena.stats(),
         }
+        if self.verify_hits:
+            out["quarantined"] = self.quarantined
         if self.landmarks is not None:
             out["landmark_cache"] = {
                 "hits": self.landmarks.cache_hits,

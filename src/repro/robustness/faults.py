@@ -21,6 +21,20 @@ corrupts a run in controlled, seedable ways:
   of sleeping, so wall-time budgets, per-query deadlines, and circuit
   breakers are testable deterministically (a straggler in fast-forward).
 
+Bit-flip classes (PR 6) model *silent data corruption* — the memory or
+storage fault that motivates answer certificates.  Each flips one high
+mantissa/exponent bit of a finite float64 (bits 44–62, never the sign),
+so the damage is material in either direction (value shrinks, explodes,
+or becomes inf/nan) but stays a legal float:
+
+* ``flip_dist_at``          — flip bits of tentative distances inside a
+  run (``on_step_start``), producing silently wrong final answers;
+* ``flip_cache_payload``    — corrupt a :class:`~repro.perf.WarmEngine`
+  cached answer as it is served (``corrupt_warm_answer``);
+* ``flip_checkpoint``       — flip one byte of a just-written serve
+  checkpoint sidecar (``on_checkpoint_written``), corrupting durable
+  state a resume would otherwise trust.
+
 Every decision flows from one seeded RNG plus hash-based per-vertex
 noise, so a chaos run is exactly reproducible from its seed.  Injection
 stops after ``max_fires`` faults, which is how "transient" failures are
@@ -103,6 +117,10 @@ class FaultInjector:
         transient: bool = True,
         stall_at: int | None = None,
         stall_seconds: float = 0.05,
+        flip_dist_at: int | None = None,
+        flip_dist_count: int = 1,
+        flip_cache_payload: bool = False,
+        flip_checkpoint: bool = False,
         clock=None,
         max_fires: int = 1,
     ) -> None:
@@ -120,6 +138,10 @@ class FaultInjector:
         self.transient = transient
         self.stall_at = stall_at
         self.stall_seconds = float(stall_seconds)
+        self.flip_dist_at = flip_dist_at
+        self.flip_dist_count = int(flip_dist_count)
+        self.flip_cache_payload = bool(flip_cache_payload)
+        self.flip_checkpoint = bool(flip_checkpoint)
         #: the SimClock (anything with ``advance``) that stall faults
         #: push forward; stalls are inert without one.
         self.clock = clock
@@ -133,6 +155,20 @@ class FaultInjector:
 
     def _record(self, step: int, kind: str) -> None:
         self.fired.append((step, kind))
+
+    def _flip_bits(self, value: float) -> float:
+        """XOR one high mantissa/exponent bit of a finite float64.
+
+        Bits 44–62 keep the corruption material (relative error >= ~1e-4
+        up to inf/nan) while leaving the sign alone — a negative
+        distance would be caught by trivial range checks, which is not
+        the failure mode certificates exist for.
+        """
+        if not np.isfinite(value):
+            return float(value)
+        bit = int(self.rng.integers(44, 63))
+        raw = np.float64(value).view(np.uint64)
+        return float((raw ^ np.uint64(1 << bit)).view(np.float64))
 
     # -- engine hooks ---------------------------------------------------
     def on_bind(self, policy, graph) -> None:
@@ -176,6 +212,16 @@ class FaultInjector:
                 victims = self.rng.choice(finite, size=k, replace=False)
                 dist[victims] = dist[victims] * self.corrupt_scale + 1.0
                 self._record(step, "corrupt-dist")
+        if self.flip_dist_at is not None and step >= self.flip_dist_at and self._armed():
+            # Bit-flip corruption keeps trying from its step on: early
+            # steps may have no strictly positive finite entries yet.
+            finite = np.flatnonzero(np.isfinite(dist) & (dist > 0))
+            if len(finite):
+                k = min(self.flip_dist_count, len(finite))
+                victims = self.rng.choice(finite, size=k, replace=False)
+                for e in victims:
+                    dist[e] = self._flip_bits(dist[e])
+                self._record(step, "flip-dist")
         if self.corrupt_mu_at == step and self._armed():
             mu = getattr(policy, "mu", None)
             if mu is not None and np.isfinite(mu) and np.ndim(mu) == 0 and mu > 0:
@@ -192,3 +238,45 @@ class FaultInjector:
                 keep = np.delete(ids, victims)
                 frontier.replace(keep, assume_sorted=True)
                 self._record(step, "drop-frontier")
+
+    # -- storage hooks --------------------------------------------------
+    def corrupt_warm_answer(self, answer):
+        """Maybe bit-flip a cached answer as it is served.
+
+        Called by :class:`~repro.perf.WarmEngine` on every cache hit
+        (when wired); returns the answer to actually serve.  The flip
+        models in-cache payload corruption — the served copy and the
+        stored entry both carry the bad distance, so detection must
+        evict, not just recompute.
+        """
+        if not (self.flip_cache_payload and self._armed()):
+            return answer
+        if not np.isfinite(answer.distance) or answer.distance <= 0:
+            return answer
+        from dataclasses import replace
+
+        self._record(-1, "flip-cache")
+        return replace(answer, distance=self._flip_bits(answer.distance))
+
+    def on_checkpoint_written(self, store) -> None:
+        """Maybe flip one byte of a just-written checkpoint sidecar.
+
+        Called by :class:`~repro.serve.ServePipeline` after each
+        checkpoint save; corrupts the durable .npz bytes in place, the
+        way a bad disk or torn write would.  The store's checksum (and
+        failing that, np.load itself) must catch it on resume.
+        """
+        if not (self.flip_checkpoint and self._armed()):
+            return
+        try:
+            with open(store.sidecar, "rb") as fh:
+                blob = bytearray(fh.read())
+        except OSError:
+            return
+        if not blob:
+            return
+        pos = int(self.rng.integers(len(blob)))
+        blob[pos] ^= 0xFF
+        with open(store.sidecar, "wb") as fh:
+            fh.write(bytes(blob))
+        self._record(-1, "flip-checkpoint")

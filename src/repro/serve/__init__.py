@@ -3,10 +3,13 @@
 What :mod:`repro.robustness` does for one query, this package does for
 a *batch job*: checkpoint/resume so a crash loses no answered query,
 per-query deadlines with graceful ``exact=False`` degradation,
-per-method circuit breakers with half-open recovery, and explicit
-load shedding under queue pressure.  See ``docs/robustness.md`` for the
-full story (checkpoint file format, breaker state machine) and
-``repro serve-batch`` for the CLI entry point.
+per-method circuit breakers with half-open recovery, explicit
+load shedding under queue pressure, and (``verify=True``) an answer
+verification stage that checks every result's certificate and repairs
+refuted answers with an exact recompute before they are returned.  See
+``docs/robustness.md`` for the full story (checkpoint file format,
+breaker state machine, certificate semantics) and ``repro serve-batch``
+for the CLI entry point.
 
 >>> from repro.serve import serve_batch
 >>> res = serve_batch(graph, pairs, method="multi",
@@ -22,13 +25,14 @@ from .admission import (
     INEXACT,
     OK,
     OUTCOMES,
+    REPAIRED,
     SHED,
     TIMEOUT,
     AdmissionController,
     ServeQuery,
 )
 from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
-from .checkpoint import CheckpointStore, batch_fingerprint
+from .checkpoint import CheckpointCorrupt, CheckpointStore, batch_fingerprint
 from .pipeline import SERVE_METHODS, PipelineResult, ServePipeline, serve_batch
 
 __all__ = [
@@ -39,6 +43,7 @@ __all__ = [
     "ServeQuery",
     "AdmissionController",
     "CheckpointStore",
+    "CheckpointCorrupt",
     "batch_fingerprint",
     "CircuitBreaker",
     "BreakerBoard",
@@ -50,5 +55,6 @@ __all__ = [
     "SHED",
     "TIMEOUT",
     "FAILED",
+    "REPAIRED",
     "OUTCOMES",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "SHED",
     "TIMEOUT",
     "FAILED",
+    "REPAIRED",
     "OUTCOMES",
 ]
 
@@ -34,7 +35,8 @@ INEXACT = "inexact"    # budget/deadline-limited: the answer is an upper bound
 SHED = "shed"          # refused by admission control (never executed)
 TIMEOUT = "timeout"    # deadline expired before execution began
 FAILED = "failed"      # every rung errored; no answer at all
-OUTCOMES = (OK, INEXACT, SHED, TIMEOUT, FAILED)
+REPAIRED = "repaired"  # verification refuted the answer; exact recompute healed it
+OUTCOMES = (OK, INEXACT, SHED, TIMEOUT, FAILED, REPAIRED)
 
 
 @dataclass

@@ -13,13 +13,21 @@ after every completed shard:
   JSON, so a resumed run reproduces them *bit-identically* — no decimal
   round-trip.
 
-The sidecar is written first and the manifest second, so a crash between
-the two leaves the previous checkpoint's manifest pointing at a sidecar
-that is at least as new — a resumable state either way.  On resume the
-manifest's fingerprint must match the new run's configuration exactly;
-a mismatch (different graph, query set, method, or shard size) raises a
-``ValueError`` naming the field instead of silently mixing answers from
-two different jobs.
+The sidecar is written first and the manifest second; the manifest
+records the sidecar's SHA-256, so on resume the pair is known to be
+internally consistent.  A crash between the two writes leaves the old
+manifest's checksum disagreeing with the new sidecar — the load then
+raises :class:`CheckpointCorrupt` and the pipeline *quarantines* the
+checkpoint (recomputes from scratch) rather than resuming from bytes it
+cannot vouch for.  The same exception covers unreadable npz payloads
+(torn writes, bit rot) and mismatched array lengths.
+
+On resume the manifest's fingerprint must match the new run's
+configuration exactly; a mismatch (different graph content or name,
+query set, method, or shard size) raises a ``ValueError`` naming the
+field instead of silently mixing answers from two different jobs.  The
+graph is identified by :meth:`repro.graphs.Graph.fingerprint` — a CSR
+content hash — so even a same-shape regenerated graph is refused.
 """
 
 from __future__ import annotations
@@ -30,10 +38,22 @@ import os
 
 import numpy as np
 
-__all__ = ["CheckpointStore", "batch_fingerprint", "CHECKPOINT_KIND", "CHECKPOINT_VERSION"]
+__all__ = [
+    "CheckpointCorrupt",
+    "CheckpointStore",
+    "batch_fingerprint",
+    "CHECKPOINT_KIND",
+    "CHECKPOINT_VERSION",
+]
 
 CHECKPOINT_KIND = "repro-serve-checkpoint"
 CHECKPOINT_VERSION = 1
+
+
+class CheckpointCorrupt(RuntimeError):
+    """A checkpoint whose bytes cannot be trusted (checksum mismatch,
+    unreadable sidecar, torn arrays).  Callers quarantine: ignore the
+    checkpoint and recompute, never resume from it."""
 
 
 def batch_fingerprint(graph, queries, method: str, checkpoint_every: int) -> dict:
@@ -54,12 +74,21 @@ def batch_fingerprint(graph, queries, method: str, checkpoint_every: int) -> dic
             "m": int(graph.num_edges),
             "directed": bool(graph.directed),
             "weight_sum": round(float(graph.weights.sum()), 6),
+            "fingerprint": graph.fingerprint(),
         },
         "method": str(method),
         "checkpoint_every": int(checkpoint_every),
         "num_queries": len(queries),
         "queries_sha256": h.hexdigest()[:16],
     }
+
+
+def _sha256_file(path: str) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 16), b""):
+            h.update(chunk)
+    return h.hexdigest()
 
 
 class CheckpointStore:
@@ -95,6 +124,9 @@ class CheckpointStore:
                 dist=np.asarray(dist, dtype=np.float64),
                 exact=np.asarray(exact, dtype=bool),
             )
+        # Digest the exact bytes just written; load() re-hashes the file
+        # so any later corruption of the sidecar is detected on resume.
+        payload["sidecar_sha256"] = _sha256_file(tmp)
         os.replace(tmp, self.sidecar)
 
         tmp = self.path + ".tmp"
@@ -120,11 +152,27 @@ class CheckpointStore:
                 f"checkpoint {self.path!r} has version {manifest.get('version')!r}; "
                 f"this build reads version {CHECKPOINT_VERSION}"
             )
-        with np.load(self.sidecar) as data:
-            arrays = {k: data[k] for k in ("s", "t", "dist", "exact")}
+        expected = manifest.get("sidecar_sha256")
+        if expected is not None:
+            # Absent in pre-PR-6 checkpoints (same format version);
+            # those load unchecked for compatibility.
+            actual = _sha256_file(self.sidecar)
+            if actual != expected:
+                raise CheckpointCorrupt(
+                    f"checkpoint sidecar {self.sidecar!r} fails its checksum "
+                    f"(manifest says {expected[:12]}…, file hashes {actual[:12]}…); "
+                    "refusing to resume from corrupt bytes"
+                )
+        try:
+            with np.load(self.sidecar) as data:
+                arrays = {k: data[k] for k in ("s", "t", "dist", "exact")}
+        except Exception as exc:  # np.load raises zipfile/OS/Value errors
+            raise CheckpointCorrupt(
+                f"checkpoint sidecar {self.sidecar!r} is unreadable: {exc}"
+            ) from exc
         n = len(arrays["s"])
         if any(len(arrays[k]) != n for k in ("t", "dist", "exact")):
-            raise ValueError(
+            raise CheckpointCorrupt(
                 f"checkpoint sidecar {self.sidecar!r} is corrupt: "
                 "parallel arrays disagree on length"
             )
@@ -133,6 +181,17 @@ class CheckpointStore:
     def verify_fingerprint(self, manifest: dict, fingerprint: dict) -> None:
         """Raise a field-naming ``ValueError`` unless the job matches."""
         stored = manifest.get("fingerprint", {})
+        # Graph *content* mismatch gets its own message: same-named,
+        # same-shaped graphs with different bytes are the dangerous case
+        # (a regenerated input), and "field graph differed" hides it.
+        old_g, new_g = stored.get("graph") or {}, fingerprint.get("graph") or {}
+        old_fp, new_fp = old_g.get("fingerprint"), new_g.get("fingerprint")
+        if old_fp is not None and new_fp is not None and old_fp != new_fp:
+            raise ValueError(
+                f"checkpoint {self.path!r} was written against a different "
+                f"graph: content fingerprint was {old_fp}, the loaded graph "
+                f"is {new_fp}; resuming would mix answers across graphs"
+            )
         for field in ("graph", "method", "checkpoint_every", "num_queries", "queries_sha256"):
             if stored.get(field) != fingerprint.get(field):
                 raise ValueError(

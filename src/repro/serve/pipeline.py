@@ -26,6 +26,17 @@ many-query service needs:
    (:mod:`~repro.serve.admission`) bounds the queue and sheds the
    lowest-priority queries with an explicit ``shed`` outcome rather
    than degrading every answer.
+5. **Answer verification** (``verify=True``) — every executed answer is
+   checked before it is recorded.  Certified answers go through the
+   :class:`~repro.verify.CertificateChecker`; certificate-less exact
+   claims (and every "unreachable" claim) are confirmed against an
+   authoritative Dijkstra run.  A claim that fails its check is never
+   returned: the pipeline recomputes it exactly, re-checks the new
+   certificate, and records the query with the ``repaired`` outcome
+   (or ``failed`` when even the recompute cannot be certified).
+   Corrupt checkpoints (:class:`~repro.serve.CheckpointCorrupt`) are
+   *quarantined* on resume — the run recomputes from scratch rather
+   than trusting bytes that fail their checksum.
 
 The pipeline is strictly opt-in: nothing in the core engine or the
 batch solvers changes when it is not used, preserving the zero-overhead
@@ -33,6 +44,8 @@ default path the bench gate pins.
 """
 
 from __future__ import annotations
+
+import math
 
 from dataclasses import dataclass, field
 
@@ -42,9 +55,18 @@ from ..parallel.cost_model import WorkDepthMeter
 from ..robustness.budget import Budget
 from ..robustness.clock import as_clock
 from ..robustness.resilient import DEFAULT_CHAIN, resilient_ppsp
-from .admission import FAILED, INEXACT, OK, SHED, TIMEOUT, AdmissionController, ServeQuery
+from .admission import (
+    FAILED,
+    INEXACT,
+    OK,
+    REPAIRED,
+    SHED,
+    TIMEOUT,
+    AdmissionController,
+    ServeQuery,
+)
 from .breaker import BreakerBoard
-from .checkpoint import CheckpointStore, batch_fingerprint
+from .checkpoint import CheckpointCorrupt, CheckpointStore, batch_fingerprint
 
 __all__ = ["ServePipeline", "PipelineResult", "serve_batch", "SERVE_METHODS"]
 
@@ -146,6 +168,15 @@ class ServePipeline:
         at a checkpoint boundary.
     strategy_factory : callable or None
         Forwarded to :func:`~repro.core.batch.solve_batch`.
+    verify : bool
+        Turn on the answer-verification stage: certificates are
+        requested from every solver, checked per answer, and failing
+        answers are repaired by an exact recompute (outcome
+        ``repaired``) instead of being returned.
+    checker : CertificateChecker or None
+        Override the checker used by the verification stage (e.g. a
+        different tolerance); a default one is built when ``verify``
+        is set.
     """
 
     def __init__(
@@ -168,6 +199,8 @@ class ServePipeline:
         observer=None,
         checkpoint_hook=None,
         strategy_factory=None,
+        verify: bool = False,
+        checker=None,
     ) -> None:
         if method not in SERVE_METHODS:
             raise ValueError(f"unknown serve method {method!r}; options: {SERVE_METHODS}")
@@ -189,6 +222,13 @@ class ServePipeline:
         self.fault_injector = fault_injector
         self.checkpoint_hook = checkpoint_hook
         self.strategy_factory = strategy_factory
+        self.verify = bool(verify)
+        if self.verify and checker is None:
+            from ..verify import CertificateChecker
+
+            checker = CertificateChecker()
+        self._checker = checker
+        self._vcounts: dict[str, int] = {}
         self.breakers = breakers if breakers is not None else BreakerBoard(
             failure_threshold=breaker_threshold,
             cooldown=breaker_cooldown,
@@ -243,6 +283,10 @@ class ServePipeline:
         )
         self._meter = result.meter
         self._num_searches = 0
+        self._vcounts = {
+            "checked": 0, "valid": 0, "invalid": 0, "unproven": 0,
+            "confirmed": 0, "repaired": 0, "failed": 0,
+        }
         if not submitted:
             result.details["empty"] = True
             return result
@@ -276,9 +320,9 @@ class ServePipeline:
                 continue
             if obs is not None:
                 with obs.span("serve-shard"):
-                    shard_results = self._run_shard(shard)
+                    shard_results = self._process_shard(shard)
             else:
-                shard_results = self._run_shard(shard)
+                shard_results = self._process_shard(shard)
             for key, (dist, exact, status) in shard_results.items():
                 result.distances[key] = dist
                 result.exact[key] = exact
@@ -295,6 +339,8 @@ class ServePipeline:
         result.breaker_states = self.breakers.states()
         result.details["num_shards"] = len(shards)
         result.details["num_searches"] = self._num_searches
+        if self.verify:
+            result.details["verification"] = dict(self._vcounts)
         return result
 
     # ------------------------------------------------------------------
@@ -305,8 +351,22 @@ class ServePipeline:
         shards: list[list[ServeQuery]],
         result: PipelineResult,
     ) -> set[int]:
-        """Fold a prior checkpoint into ``result``; completed shard ids."""
-        loaded = store.load()
+        """Fold a prior checkpoint into ``result``; completed shard ids.
+
+        Resumed answers are *not* re-verified: the manifest's sidecar
+        checksum already vouches for the stored distances, and they were
+        verified (when ``verify``) before the checkpoint was written.  A
+        checkpoint whose bytes fail that checksum is quarantined — every
+        shard recomputes — never resumed.
+        """
+        try:
+            loaded = store.load()
+        except CheckpointCorrupt as exc:
+            result.details["checkpoint_quarantined"] = str(exc)
+            if self.observer is not None:
+                self.observer.on_checkpoint("quarantined")
+                self.observer.on_quarantine("checkpoint")
+            return set()
         if loaded is None:
             return set()
         manifest, arrays = loaded
@@ -360,6 +420,13 @@ class ServePipeline:
             dist=[result.distances[k] for k in keys],
             exact=[result.exact[k] for k in keys],
         )
+        if self.fault_injector is not None:
+            # Chaos hook: models silent corruption of the durable bytes
+            # *after* the write (bad disk); the checksum catches it on
+            # resume and the pipeline quarantines the checkpoint.
+            hook = getattr(self.fault_injector, "on_checkpoint_written", None)
+            if hook is not None:
+                hook(store)
         if self.observer is not None:
             self.observer.on_checkpoint("write")
         if self.checkpoint_hook is not None:
@@ -368,14 +435,24 @@ class ServePipeline:
             self.checkpoint_hook(manifest)
 
     # ------------------------------------------------------------------
+    def _process_shard(self, shard: list[ServeQuery]) -> dict:
+        """Execute one shard and verify its answers (when ``verify``)."""
+        raw = self._run_shard(shard)
+        if not self.verify:
+            return {k: (d, e, st) for k, (d, e, st, _) in raw.items()}
+        return {
+            k: self._verify_answer(k, d, e, st, cert)
+            for k, (d, e, st, cert) in raw.items()
+        }
+
     def _run_shard(self, shard: list[ServeQuery]) -> dict:
-        """Execute one shard -> ``{key: (distance, exact, status)}``."""
+        """Execute one shard -> ``{key: (distance, exact, status, cert)}``."""
         now = self._now()
-        results: dict[tuple[int, int], tuple[float, bool, str]] = {}
+        results: dict[tuple[int, int], tuple[float, bool, str, object]] = {}
         live: list[ServeQuery] = []
         for q in shard:
             if q.deadline is not None and q.deadline <= now:
-                results[q.key] = (float("inf"), False, TIMEOUT)
+                results[q.key] = (float("inf"), False, TIMEOUT, None)
                 if self.observer is not None:
                     self.observer.on_deadline_miss()
             else:
@@ -417,7 +494,7 @@ class ServePipeline:
         through the per-query resilient chain instead, whose rungs carry
         their own breakers.
         """
-        results: dict[tuple[int, int], tuple[float, bool, str]] = {}
+        results: dict[tuple[int, int], tuple[float, bool, str, object]] = {}
         board = self.breakers
         if board.allow(self.method):
             budget = self._shard_budget(live)
@@ -430,6 +507,7 @@ class ServePipeline:
                     strategy_factory=self.strategy_factory,
                     fault_injector=self.fault_injector,
                     observer=self.observer,
+                    certify=self.verify,
                 )
             except Exception:  # noqa: BLE001 — shard failure must be contained
                 board.record_failure(self.method)
@@ -438,14 +516,17 @@ class ServePipeline:
                 self._meter.merge(res.meter)
                 self._num_searches += res.num_searches
                 status = OK if res.exact else INEXACT
+                certs = res.certificates or {}
                 for q in live:
-                    results[q.key] = (res.distance(*q.key), res.exact, status)
+                    s, t = q.key
+                    cert = certs.get((s, t)) or certs.get((t, s))
+                    results[q.key] = (res.distance(s, t), res.exact, status, cert)
                 return results
         for q in live:
             results[q.key] = self._run_query_chain(q)
         return results
 
-    def _run_query_chain(self, q: ServeQuery) -> tuple[float, bool, str]:
+    def _run_query_chain(self, q: ServeQuery) -> tuple[float, bool, str, object]:
         """One query through the breaker-guarded resilient chain."""
         deadline_wall = None
         if q.deadline is not None:
@@ -474,12 +555,133 @@ class ServePipeline:
                 breakers=self.breakers,
                 fault_injector=self.fault_injector,
                 observer=self.observer,
+                certify=self.verify,
             )
         except Exception:  # noqa: BLE001 — one query must not kill the batch
-            return (float("inf"), False, FAILED)
+            return (float("inf"), False, FAILED, None)
+        cert = None
         if ans.answer is not None:
             self._meter.merge(ans.answer.run.meter)
-        return (float(ans.distance), bool(ans.exact), OK if ans.exact else INEXACT)
+            cert = ans.answer.certificate
+        return (
+            float(ans.distance),
+            bool(ans.exact),
+            OK if ans.exact else INEXACT,
+            cert,
+        )
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def _verify_answer(
+        self, key: tuple[int, int], dist: float, exact: bool, status: str, cert
+    ) -> tuple[float, bool, str]:
+        """Check one answer before it is recorded; repair it if refuted.
+
+        Three regimes:
+
+        * **certified finite claims** — the checker validates the
+          certificate in O(path + spot checks); an exact claim must come
+          out ``proven == "exact"``, an inexact (budget-degraded) claim
+          passes with an upper-bound proof;
+        * **"unreachable" exact claims** (``inf``) — a certificate can
+          never positively prove non-existence, so these are confirmed
+          against an authoritative Dijkstra run;
+        * **certificate-less finite exact claims** (e.g. the resilient
+          chain's reference rung) — also confirmed authoritatively.
+
+        Timed-out/failed queries carry no answer and are skipped; an
+        inexact claim without a certificate is counted ``unproven`` but
+        served (``inf`` is always a sound upper bound, and the engine
+        path always certifies — this arises only for exotic rungs).
+        """
+        obs = self.observer
+        counts = self._vcounts
+        if status in (TIMEOUT, FAILED):
+            return dist, exact, status
+        counts["checked"] += 1
+        if exact and not math.isfinite(dist):
+            # Unreachable claim: confirm with ground truth, never a cert.
+            row = self._authoritative_row(*key)
+            if not math.isfinite(float(row[key[1]])):
+                counts["confirmed"] += 1
+                if obs is not None:
+                    obs.on_verify("confirmed")
+                return dist, exact, status
+            counts["invalid"] += 1
+            if obs is not None:
+                obs.on_verify("invalid")
+            return self._repair(key, row=row)
+        if cert is None:
+            if not exact:
+                counts["unproven"] += 1
+                if obs is not None:
+                    obs.on_verify("unproven")
+                return dist, exact, status
+            row = self._authoritative_row(*key)
+            truth = float(row[key[1]])
+            tol = 1e-6 * max(1.0, abs(truth)) if math.isfinite(truth) else 0.0
+            if math.isfinite(truth) and abs(truth - dist) <= tol:
+                counts["confirmed"] += 1
+                if obs is not None:
+                    obs.on_verify("confirmed")
+                return dist, exact, status
+            counts["invalid"] += 1
+            if obs is not None:
+                obs.on_verify("invalid")
+            return self._repair(key, row=row)
+        report = self._checker.check(self.graph, cert, expected_distance=dist)
+        ok = report.valid and (not exact or report.proven == "exact")
+        if ok:
+            counts["valid"] += 1
+            if obs is not None:
+                obs.on_verify("valid", checks=report.checks)
+            return dist, exact, status
+        counts["invalid"] += 1
+        if obs is not None:
+            obs.on_verify("invalid", checks=report.checks)
+        return self._repair(key)
+
+    def _authoritative_row(self, source: int, target: int):
+        """Ground-truth distances from ``source`` (target-pruned Dijkstra).
+
+        The baseline early-stops once ``target`` settles; every vertex
+        on a shortest ``source``→``target`` path settles first, so the
+        row supports both the distance read and ``walk_path``.
+        """
+        from ..baselines.dijkstra import dijkstra
+
+        return dijkstra(self.graph, int(source), target=int(target))
+
+    def _repair(self, key: tuple[int, int], row=None) -> tuple[float, bool, str]:
+        """Exact recompute for a refuted answer, then re-check.
+
+        The repaired answer is itself certified (witness path from the
+        Dijkstra row) and re-checked before being trusted; if even that
+        fails — graph corrupted beyond repair — the query is surfaced as
+        ``failed`` rather than served wrong.
+        """
+        from ..verify import build_certificate
+
+        obs = self.observer
+        s, t = key
+        if row is None:
+            row = self._authoritative_row(s, t)
+        d = float(row[t])
+        cert = build_certificate(
+            self.graph, s, t, "dijkstra", d, True, dist_forward=row
+        )
+        report = self._checker.check(self.graph, cert, expected_distance=d)
+        healed = report.valid and (report.proven == "exact" or not math.isfinite(d))
+        if healed:
+            self._vcounts["repaired"] += 1
+            if obs is not None:
+                obs.on_repair("repaired")
+            return d, True, REPAIRED
+        self._vcounts["failed"] += 1
+        if obs is not None:
+            obs.on_repair("failed")
+        return float("inf"), False, FAILED
 
 
 def serve_batch(graph, queries, *, resume: bool = False, **kwargs) -> PipelineResult:

@@ -46,6 +46,21 @@ class TestRunBenchmark:
         assert gates["warm_speedup_bidastar"] >= 3.0
         assert gates["pass"] is True
 
+    def test_verify_overhead_section(self, snapshot):
+        """Acceptance: serve-time certificate verification costs < 15%
+        on a clean workload (sub-millisecond baselines stay ungated)."""
+        v = snapshot["verify"]
+        cfg = regression.SCALES["tiny"]
+        assert v["workload"] == {
+            "road_side": cfg["verify_road_side"],
+            "num_pairs": cfg["verify_pairs"],
+            "method": "multi",
+        }
+        assert v["plain_s"] > 0 and v["verified_s"] > 0
+        assert v["max_allowed_overhead"] == regression.VERIFY_MAX_OVERHEAD
+        assert v["pass"] is True
+        assert snapshot["gates"]["max_verify_overhead"] == regression.VERIFY_MAX_OVERHEAD
+
     def test_warm_path_reuses_pool(self, snapshot):
         for counters in snapshot["arena"].values():
             assert counters["reuses"] > counters["allocations"]

@@ -47,7 +47,9 @@ class TestAdmissionController:
             AdmissionController(0)
 
     def test_outcome_vocabulary_is_closed(self):
-        assert set(OUTCOMES) == {"ok", "inexact", "shed", "timeout", "failed"}
+        assert set(OUTCOMES) == {
+            "ok", "inexact", "shed", "timeout", "failed", "repaired",
+        }
 
 
 class TestPipelineAdmission:

@@ -78,10 +78,18 @@ class TestValidation:
             store.load()
 
     def test_rejects_corrupt_sidecar_lengths(self, store):
+        from repro.serve import CheckpointCorrupt
+        from repro.serve.checkpoint import _sha256_file
+
         _save_minimal(store)
         np.savez(store.sidecar, s=np.array([0]), t=np.array([10, 11]),
                  dist=np.array([1.0, 2.0]), exact=np.array([True, False]))
-        with pytest.raises(ValueError, match="corrupt"):
+        # keep the manifest checksum in agreement so the torn-array
+        # length check itself is what fires
+        manifest = json.load(open(store.path))
+        manifest["sidecar_sha256"] = _sha256_file(store.sidecar)
+        json.dump(manifest, open(store.path, "w"))
+        with pytest.raises(CheckpointCorrupt, match="length"):
             store.load()
 
 

@@ -1,0 +1,39 @@
+"""Shared fixtures for the certificate/verification suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra
+from repro.graphs import road_graph
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """A 12x12 road grid with spherical coordinates (144 vertices)."""
+    return road_graph(12, 12, seed=5, name="verify-road")
+
+
+@pytest.fixture(scope="module")
+def pairs(grid):
+    """16 distinct seeded (s, t) pairs on :func:`grid`."""
+    rng = np.random.default_rng(0)
+    raw = rng.integers(0, grid.num_vertices, size=(24, 2))
+    out = [(int(a), int(b)) for a, b in raw if a != b]
+    return out[:16]
+
+
+@pytest.fixture(scope="module")
+def truth(grid, pairs):
+    """Ground-truth distances of :func:`pairs` (reference Dijkstra)."""
+    return {(s, t): float(dijkstra(grid, s, target=t)[t]) for s, t in pairs}
+
+
+def assert_matches_truth(distances, truth, *, tol=1e-6):
+    """Every distance equals the reference within relative ``tol``."""
+    for key, expected in truth.items():
+        got = distances[key]
+        assert abs(got - expected) <= tol * max(1.0, abs(expected)), (
+            f"{key}: got {got}, reference {expected}"
+        )

@@ -1,0 +1,148 @@
+"""Certificate construction and JSON round-trip (schema strictness)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+import pytest
+
+from repro import ppsp
+from repro.verify import (
+    CERTIFICATE_KIND,
+    CERTIFICATE_VERSION,
+    Certificate,
+    CertificateChecker,
+    CertificateError,
+    RelaxFact,
+    build_certificate,
+)
+
+METHODS = ("sssp", "et", "astar", "bids", "bidastar")
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_every_method_certifies_exact(grid, pairs, truth, method):
+    s, t = pairs[0]
+    ans = ppsp(grid, s, t, method=method, certify=True)
+    cert = ans.certificate
+    assert cert is not None
+    assert cert.kind == "exact"
+    assert cert.graph_fingerprint == grid.fingerprint()
+    assert cert.path is not None and cert.path[0] == s and cert.path[-1] == t
+    assert len(cert.facts) > 0
+    report = CertificateChecker().check(grid, cert, expected_distance=ans.distance)
+    assert report.valid and report.proven == "exact", report.failures
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_json_roundtrip_identity(grid, pairs, method):
+    s, t = pairs[1]
+    cert = ppsp(grid, s, t, method=method, certify=True).certificate
+    again = Certificate.from_json(cert.to_json())
+    assert again == cert
+    # and the round-tripped copy still checks out
+    assert CertificateChecker().check(grid, again).valid
+
+
+def test_unreachable_roundtrip_preserves_inf(disconnected_graph):
+    ans = ppsp(disconnected_graph, 0, 4, method="bids", certify=True)
+    cert = ans.certificate
+    assert math.isinf(cert.distance) and cert.path is None
+    payload = json.loads(cert.to_json())
+    assert payload["distance"] == "inf"  # strict JSON, no bare Infinity
+    again = Certificate.from_json(cert.to_json())
+    assert math.isinf(again.distance)
+    report = CertificateChecker().check(disconnected_graph, cert)
+    assert report.valid and report.proven == "unproven"
+
+
+def test_self_query_certificate(grid):
+    cert = ppsp(grid, 7, 7, method="bids", certify=True).certificate
+    assert cert.distance == 0.0 and cert.path == (7,)
+    assert CertificateChecker().check(grid, cert).valid
+
+
+def test_budget_degraded_upper_bound(grid, pairs):
+    from repro.robustness import Budget
+
+    s, t = max(pairs, key=lambda p: abs(p[0] - p[1]))
+    ans = ppsp(grid, s, t, method="sssp", budget=Budget(max_steps=2), certify=True)
+    assert not ans.exact
+    cert = ans.certificate
+    assert cert.kind == "upper-bound"
+    report = CertificateChecker().check(grid, cert)
+    assert report.valid, report.failures
+    assert report.proven in ("upper-bound", "unproven")
+
+
+def test_from_dict_rejects_unknown_fields(grid, pairs):
+    cert = ppsp(grid, *pairs[0], method="bids", certify=True).certificate
+    payload = json.loads(cert.to_json())
+    payload["extra"] = 1
+    with pytest.raises(CertificateError, match="unknown"):
+        Certificate.from_dict(payload)
+
+
+def test_from_dict_rejects_wrong_kind_and_version(grid, pairs):
+    cert = ppsp(grid, *pairs[0], method="bids", certify=True).certificate
+    good = json.loads(cert.to_json())
+    assert good["kind"] == CERTIFICATE_KIND
+    assert good["version"] == CERTIFICATE_VERSION
+    bad = dict(good, kind="something-else")
+    with pytest.raises(CertificateError):
+        Certificate.from_dict(bad)
+    bad = dict(good, version=CERTIFICATE_VERSION + 1)
+    with pytest.raises(CertificateError):
+        Certificate.from_dict(bad)
+
+
+def test_from_dict_rejects_missing_and_mistyped_fields(grid, pairs):
+    cert = ppsp(grid, *pairs[0], method="bids", certify=True).certificate
+    good = json.loads(cert.to_json())
+    for field in ("source", "target", "method", "distance", "exact"):
+        bad = dict(good)
+        del bad[field]
+        with pytest.raises(CertificateError):
+            Certificate.from_dict(bad)
+    with pytest.raises(CertificateError):
+        Certificate.from_dict(dict(good, source="zero"))
+    with pytest.raises(CertificateError):
+        Certificate.from_dict(dict(good, exact="yes"))
+    # bools are not acceptable stand-ins for numbers
+    with pytest.raises(CertificateError):
+        Certificate.from_dict(dict(good, distance=True))
+
+
+def test_relax_fact_roundtrip_strict():
+    fact = RelaxFact(u=1, v=2, w=0.5, du=1.0, dv=1.5, rev=True)
+    assert RelaxFact.from_dict(fact.to_dict()) == fact
+    with pytest.raises(CertificateError):
+        RelaxFact.from_dict({**fact.to_dict(), "bogus": 0})
+
+
+def test_build_certificate_explicit_path(line_graph):
+    cert = build_certificate(
+        line_graph, 0, 4, "sssp", 10.0, True,
+        path=(0, 1, 2, 3, 4),
+    )
+    report = CertificateChecker().check(line_graph, cert)
+    assert report.valid and report.proven == "exact"
+
+
+def test_property_roundtrip_random_certs(grid, pairs):
+    """Property-style sweep: every built cert survives dict+json cycles."""
+    for s, t in pairs[:8]:
+        cert = ppsp(grid, s, t, method="bidastar", certify=True).certificate
+        assert Certificate.from_dict(json.loads(cert.to_json())) == cert
+        assert Certificate.from_json(
+            Certificate.from_dict(cert.to_dict()).to_json()
+        ) == cert
+
+
+def test_kind_follows_exactness(grid, pairs):
+    cert = ppsp(grid, *pairs[2], method="bids", certify=True).certificate
+    assert cert.kind == "exact"
+    weaker = dataclasses.replace(cert, exact=False)
+    assert weaker.kind == "upper-bound"

@@ -1,0 +1,133 @@
+"""The independent checker refutes every tampered certificate field."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro import ppsp
+from repro.graphs import road_graph
+from repro.verify import CertificateChecker, RelaxFact
+
+
+@pytest.fixture(scope="module")
+def certified(grid, pairs):
+    """One valid exact certificate (bidastar: path + mu + bound + facts)."""
+    s, t = pairs[0]
+    ans = ppsp(grid, s, t, method="bidastar", certify=True)
+    return ans, ans.certificate
+
+
+def refuted(grid, cert, **kwargs):
+    report = CertificateChecker().check(grid, cert, **kwargs)
+    assert not report.valid and report.proven == "refuted", (
+        f"tamper not caught: {report}"
+    )
+    return report
+
+
+def test_distance_too_low_refuted(grid, certified):
+    _, cert = certified
+    refuted(grid, dataclasses.replace(cert, distance=cert.distance * 0.5,
+                                      mu=cert.mu * 0.5 if cert.mu else None))
+
+
+def test_distance_too_high_refuted(grid, certified):
+    _, cert = certified
+    refuted(grid, dataclasses.replace(cert, distance=cert.distance * 2.0,
+                                      mu=cert.mu * 2.0 if cert.mu else None))
+
+
+def test_negative_distance_refuted(grid, certified):
+    _, cert = certified
+    refuted(grid, dataclasses.replace(cert, distance=-1.0, mu=None))
+
+
+def test_nan_distance_refuted(grid, certified):
+    _, cert = certified
+    refuted(grid, dataclasses.replace(cert, distance=math.nan, mu=None))
+
+
+def test_mu_mismatch_refuted(grid, certified):
+    _, cert = certified
+    refuted(grid, dataclasses.replace(cert, mu=cert.distance * 0.9))
+
+
+def test_path_with_nonexistent_arc_refuted(grid, certified):
+    _, cert = certified
+    path = list(cert.path)
+    # splice in a hop to a far-away vertex: almost surely not an arc,
+    # and if it were one the re-summed length would change anyway
+    path.insert(1, (path[0] + grid.num_vertices // 2) % grid.num_vertices)
+    refuted(grid, dataclasses.replace(cert, path=tuple(path)))
+
+
+def test_path_wrong_endpoints_refuted(grid, certified):
+    _, cert = certified
+    refuted(grid, dataclasses.replace(cert, path=tuple(reversed(cert.path))))
+
+
+def test_missing_witness_on_exact_claim_refuted(grid, certified):
+    _, cert = certified
+    refuted(grid, dataclasses.replace(cert, path=None))
+
+
+def test_tampered_fact_refuted(grid, certified):
+    _, cert = certified
+    assert cert.facts
+    f = cert.facts[0]
+    # claim the head distance violates the relaxation inequality
+    bad = RelaxFact(u=f.u, v=f.v, w=f.w, du=f.du, dv=f.du + f.w + 1.0, rev=f.rev)
+    refuted(grid, dataclasses.replace(cert, facts=(bad,) + cert.facts[1:]))
+
+
+def test_fact_with_nonexistent_arc_refuted(grid, certified):
+    _, cert = certified
+    f = cert.facts[0]
+    bad = RelaxFact(u=f.u, v=(f.u + grid.num_vertices // 2) % grid.num_vertices,
+                    w=f.w, du=f.du, dv=f.dv, rev=f.rev)
+    refuted(grid, dataclasses.replace(cert, facts=(bad,) + cert.facts[1:]))
+
+
+def test_heuristic_bound_exceeding_distance_refuted(grid, certified):
+    _, cert = certified
+    assert cert.heuristic_bound is not None
+    refuted(grid, dataclasses.replace(cert, heuristic_bound=cert.distance * 1.5))
+
+
+def test_fingerprint_mismatch_refuted(certified):
+    _, cert = certified
+    other = road_graph(12, 12, seed=6, name="other-road")
+    refuted(other, cert)
+
+
+def test_expected_distance_crosscheck(grid, certified):
+    """Post-build payload corruption: cert consistent, served value not."""
+    _, cert = certified
+    refuted(grid, cert, expected_distance=cert.distance * 1.01)
+
+
+def test_endpoint_out_of_range_refuted(grid, certified):
+    _, cert = certified
+    refuted(grid, dataclasses.replace(cert, target=grid.num_vertices + 7))
+
+
+def test_checks_counted(grid, certified):
+    ans, cert = certified
+    report = CertificateChecker().check(grid, cert, expected_distance=ans.distance)
+    assert report.valid
+    # path hops + facts + structural comparisons all count
+    assert report.checks >= len(cert.path) - 1 + len(cert.facts)
+
+
+def test_tolerance_is_relative(grid, certified):
+    _, cert = certified
+    nudged = dataclasses.replace(cert, distance=cert.distance * (1 + 1e-9),
+                                 mu=cert.mu * (1 + 1e-9))
+    assert CertificateChecker().check(grid, nudged).valid
+    assert not CertificateChecker(tolerance=1e-12).check(
+        grid, dataclasses.replace(cert, distance=cert.distance * (1 + 1e-7),
+                                  mu=cert.mu * (1 + 1e-7))
+    ).valid
