@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-slow chaos verify-chaos serve bench stats reproduce reproduce-tiny report examples clean
+.PHONY: install test test-slow test-pool chaos verify-chaos serve bench stats reproduce reproduce-tiny report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -29,6 +29,13 @@ serve:
 # Nightly-only stress/invariant suites excluded from the default run.
 test-slow:
 	$(PYTHON) -m pytest tests/ -m slow
+
+# Multi-process backend suites: differential serial-vs-pool determinism,
+# worker-kill chaos, and shared-memory leak checks (fork-heavy, not
+# tier-1; POOL_SMOKE=1 trims the matrix to the CI slice).
+test-pool:
+	$(PYTHON) -m pytest tests/parallel/test_pool_differential.py \
+		tests/parallel/test_pool_chaos.py tests/graphs/test_shm.py -q -m ''
 
 # Nightly benchmark pass: the seeded regression workload (gated against
 # the newest BENCH_*.json) plus the pytest-benchmark micro suites.

@@ -72,7 +72,7 @@ from .verify import (
     build_certificate,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ppsp",

@@ -79,6 +79,33 @@ def _parse_budget(spec: str | None):
 
 def _cmd_query(args) -> int:
     graph = _load_graph(args.graph)
+    if args.backend == "process":
+        # A single point-to-point query routed through the process-pool
+        # batch backend (one-pair plain-bids batch).  Serial-only
+        # features are engine-local and cannot ship to a worker.
+        for flag in ("trace", "verbose", "resilient", "checked"):
+            if getattr(args, flag):
+                raise SystemExit(f"--{flag} is serial-only; drop --backend process")
+        if args.budget:
+            raise SystemExit("--budget is serial-only; drop --backend process")
+        from .core.batch import solve_batch
+
+        res = solve_batch(
+            graph, [(args.source, args.target)], method="plain-bids",
+            backend="process", workers=args.workers,
+        )
+        dist = res.distances[(args.source, args.target)]
+        payload = {
+            "source": args.source,
+            "target": args.target,
+            "method": "plain-bids",
+            "backend": "process",
+            "distance": dist,
+            "exact": res.exact,
+            "reachable": dist != float("inf"),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
     trace = None
     if args.trace or args.verbose:
         from .core.tracing import StepTrace
@@ -174,6 +201,7 @@ def _cmd_bench(args) -> int:
         work_tolerance=args.work_tolerance,
         wall_tolerance=args.wall_tolerance,
         check=args.check,
+        backend=args.backend,
     )
     print(json.dumps(
         {
@@ -204,6 +232,10 @@ def _cmd_batch(args) -> int:
         from .robustness.auditor import InvariantAuditor
 
         kwargs["auditor"] = InvariantAuditor()
+    if args.backend != "serial":
+        kwargs["backend"] = args.backend
+        if args.workers is not None:
+            kwargs["workers"] = args.workers
     res = batch_ppsp(graph, pairs, method=args.method, **kwargs)
     payload = {
         "method": res.method,
@@ -312,6 +344,8 @@ def _cmd_serve_batch(args) -> int:
         breaker_cooldown=args.breaker_cooldown,
         verify=args.verify,
         fault_injector=_serve_chaos_injector(args),
+        backend=args.backend,
+        workers=args.workers,
     )
     res = pipeline.run(queries, resume=args.resume)
     payload = {
@@ -449,6 +483,11 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--resilient", action="store_true",
                    help="run the bidastar->bids->et->dijkstra fallback chain "
                         "instead of a single method")
+    q.add_argument("--backend", default="serial", choices=("serial", "process"),
+                   help="process: route through the multi-process pool "
+                        "(one-pair plain-bids batch; serial-only flags rejected)")
+    q.add_argument("--workers", type=int,
+                   help="pool size for --backend process (default: cpu count)")
     q.add_argument("--verbose", action="store_true",
                    help="include work/depth and the mu-settlement step of "
                         "the run just executed")
@@ -461,6 +500,11 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--pairs-file", help="file of 's t' lines")
     b.add_argument("--budget", metavar="SPEC",
                    help="batch-wide execution budget (see 'query --budget')")
+    b.add_argument("--backend", default="serial", choices=("serial", "process"),
+                   help="process: shard the batch across a process pool "
+                        "(bit-identical answers; incompatible with --budget)")
+    b.add_argument("--workers", type=int,
+                   help="pool size for --backend process (default: cpu count)")
     b.add_argument("--checked", action="store_true",
                    help="verify framework invariants every step (slow)")
     b.add_argument("pairs", nargs="*", help="s1 t1 s2 t2 ...")
@@ -498,6 +542,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="consecutive failures that trip a method's breaker open")
     sv.add_argument("--breaker-cooldown", type=float, default=30.0,
                     help="seconds an open breaker waits before a half-open probe")
+    sv.add_argument("--backend", default="serial", choices=("serial", "process"),
+                   help="process: solve each shard on a process pool "
+                        "(budgeted shards still run serially)")
+    sv.add_argument("--workers", type=int,
+                   help="pool size for --backend process (default: cpu count)")
     sv.add_argument("--verify", action="store_true",
                     help="certificate-check every answer before it is "
                          "returned; refuted answers are repaired by an "
@@ -559,6 +608,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allowed relative increase of deterministic counters")
     bench.add_argument("--wall-tolerance", type=float, default=1.00,
                        help="allowed relative increase of wall-clock numbers")
+    bench.add_argument("--backend", default="serial", choices=("serial", "process"),
+                       help="process: additionally measure the process-pool "
+                             "backend (extra 'pool' section; never gated)")
     bench.add_argument("--check", action="store_true",
                        help="exit nonzero when the tolerance gate fails")
     bench.set_defaults(func=_cmd_bench)

@@ -91,17 +91,35 @@ class BatchResult:
             )
         if s == t:
             return [int(s)]
+        if st["kind"] == "precomputed":
+            # Pool results carry worker-reconstructed paths: the worker
+            # ran the same stitch/walk over the same rows the serial
+            # backend would have used, so the vertices are identical.
+            paths = st["paths"]
+            key = (s, t) if (s, t) in paths else (t, s)
+            if key not in paths:
+                raise KeyError(f"({s}, {t}) was not part of this batch")
+            path = paths[key]
+            if path is None:
+                from .paths import PathError
+
+                raise PathError(f"no finite path recorded for query ({s}, {t})")
+            return list(path) if key == (s, t) else list(path)[::-1]
         if st["kind"] == "chunked":
-            for chunk_state in st["chunks"]:
-                if (s, t) in chunk_state["edge_index"] or (t, s) in chunk_state["edge_index"]:
-                    proxy = BatchResult(
-                        distances={k: self.distances[k] for k in chunk_state["edge_index"]},
-                        meter=self.meter,
-                        method=self.method,
-                        num_searches=self.num_searches,
-                        _path_state=chunk_state,
-                    )
-                    return proxy.path(s, t)
+            # Directed batches can hold (s, t) and (t, s) as distinct
+            # queries in different chunks: an exact-orientation match
+            # anywhere must win before falling back to the reversed key.
+            for want in ((s, t), (t, s)):
+                for chunk_state in st["chunks"]:
+                    if want in chunk_state["edge_index"]:
+                        proxy = BatchResult(
+                            distances={k: self.distances[k] for k in chunk_state["edge_index"]},
+                            meter=self.meter,
+                            method=self.method,
+                            num_searches=self.num_searches,
+                            _path_state=chunk_state,
+                        )
+                        return proxy.path(s, t)
             raise KeyError(f"({s}, {t}) was not part of this batch")
         qg: QueryGraph = st["qg"]
         graph = st["graph"]
@@ -146,6 +164,9 @@ def solve_batch(
     arena=None,
     observer=None,
     certify: bool = False,
+    backend: str = "serial",
+    workers: int | None = None,
+    pool=None,
     **engine_kwargs,
 ) -> BatchResult:
     """Answer a batch of PPSP queries.
@@ -185,9 +206,21 @@ def solve_batch(
     relaxation facts sampled from the settled frontiers, built while the
     solver's dist rows are still alive.  Budget-degraded answers get
     one-sided upper-bound certificates.
+
+    ``backend="process"`` ships the batch to a pool of worker processes
+    attached to a shared-memory view of the graph
+    (:mod:`repro.parallel.pool`): ``workers`` sets the pool size, or
+    pass an existing :class:`~repro.parallel.pool.ProcessPool` as
+    ``pool`` to amortize worker startup and graph export across batches.
+    The answers — distances, paths, and certificates — are bit-identical
+    to ``backend="serial"``; features that are inherently single-process
+    (``budget``, ``arena``, ``strategy_factory``, ``max_sources``) are
+    rejected with a ``ValueError``.
     """
     if method not in BATCH_METHODS:
         raise ValueError(f"unknown batch method {method!r}; options: {BATCH_METHODS}")
+    if backend not in ("serial", "process"):
+        raise ValueError(f"unknown backend {backend!r}; options: serial, process")
     if not isinstance(queries, QueryGraph):
         queries = list(queries)
         if len(queries) == 0:
@@ -202,6 +235,27 @@ def solve_batch(
     else:
         qg = queries
     _validate_endpoints(graph, qg)
+
+    if backend == "process":
+        from ..parallel.pool import solve_batch_process  # lazy: pool imports this module
+
+        return solve_batch_process(
+            graph,
+            qg,
+            method=method,
+            strategy=strategy,
+            strategy_factory=strategy_factory,
+            max_sources=max_sources,
+            budget=budget,
+            arena=arena,
+            observer=observer,
+            certify=certify,
+            workers=workers,
+            pool=pool,
+            **engine_kwargs,
+        )
+    if workers is not None or pool is not None:
+        raise ValueError("workers/pool apply to backend='process' only")
     if strategy_factory is None:
         strategy_factory = (lambda: strategy) if strategy is not None else lambda: None
     if max_sources is not None and method != "multi":
@@ -224,7 +278,7 @@ def solve_batch(
                 graph, qg, strategy_factory, engine_kwargs, max_sources, certify
             )
         else:
-            res = _solve_multi(graph, qg, strategy_factory(), engine_kwargs, certify)
+            res = _solve_multi(graph, qg, strategy_factory, engine_kwargs, certify)
     elif method == "plain-bids":
         res = _solve_plain_bids(
             graph, qg, strategy_factory, engine_kwargs, concurrent=False, certify=certify
@@ -269,7 +323,64 @@ def _validate_endpoints(graph, qg: QueryGraph) -> None:
 
 
 # ----------------------------------------------------------------------
-def _solve_multi(graph, qg: QueryGraph, strategy, engine_kwargs, certify=False) -> BatchResult:
+def _solve_multi(
+    graph, qg: QueryGraph, strategy_factory, engine_kwargs, certify=False
+) -> BatchResult:
+    """Multi-BiDS, decomposed over query-graph connected components.
+
+    Queries in different components of ``G_q`` exchange no shortest-path
+    information, but a whole-batch engine run still couples them: the
+    stepping threshold is derived from the *global* frontier minimum, so
+    an unrelated component alters extraction batching (and thereby
+    last-ulp float trajectories) in every other component.  Running each
+    component as its own engine run removes that coupling — the runs are
+    independent, so the simulated machine executes them concurrently
+    (``merge_parallel``) and the process-pool backend can ship them to
+    workers while staying bit-identical to this serial path.
+
+    Single-component batches take exactly one engine run, identical to
+    the undecomposed solver.
+    """
+    comps = qg.components()
+    if len(comps) == 1:
+        return _solve_multi_component(
+            graph, comps[0], strategy_factory(), engine_kwargs, certify
+        )
+    results = [
+        _solve_multi_component(graph, sub, strategy_factory(), engine_kwargs, certify)
+        for sub in comps
+    ]
+    distances: dict[tuple[int, int], float] = {}
+    certs: dict | None = {} if certify else None
+    for res in results:
+        distances.update(res.distances)
+        if certs is not None and res.certificates:
+            certs.update(res.certificates)
+    combined = WorkDepthMeter()
+    combined.merge_parallel([res.meter for res in results])
+    return BatchResult(
+        distances=distances,
+        meter=combined,
+        method="multi",
+        num_searches=sum(res.num_searches for res in results),
+        exact=all(res.exact for res in results),
+        details={
+            "components": len(comps),
+            "steps": sum(res.details["steps"] for res in results),
+            "relaxations": sum(res.details["relaxations"] for res in results),
+        },
+        certificates=certs,
+        _path_state={
+            "kind": "chunked",
+            "chunks": [res._path_state for res in results],
+        },
+    )
+
+
+def _solve_multi_component(
+    graph, qg: QueryGraph, strategy, engine_kwargs, certify=False
+) -> BatchResult:
+    """One Multi-BiDS engine run over a (single-component) query graph."""
     policy = MultiPPSP(qg)
     res = run_policy(graph, policy, strategy=strategy, **engine_kwargs)
     certs = None
@@ -356,12 +467,17 @@ def _solve_multi_chunked(
     certs: dict | None = {} if certify else None
     for pairs in chunks:
         sub = QueryGraph(pairs, directed=qg.directed)
-        res = _solve_multi(graph, sub, strategy_factory(), engine_kwargs, certify)
+        res = _solve_multi(graph, sub, strategy_factory, engine_kwargs, certify)
         distances.update(res.distances)
         combined.merge(res.meter)
         searches += res.num_searches
         exact = exact and res.exact
-        chunk_states.append(res._path_state)
+        # A multi-component chunk returns a nested chunked state; keep
+        # the stored list flat so path() lookup stays one level deep.
+        if res._path_state["kind"] == "chunked":
+            chunk_states.extend(res._path_state["chunks"])
+        else:
+            chunk_states.append(res._path_state)
         if certs is not None and res.certificates:
             certs.update(res.certificates)
     return BatchResult(

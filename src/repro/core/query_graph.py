@@ -114,6 +114,51 @@ class QueryGraph:
         """Indices of a vertex cover of ``G_q`` (exact when small)."""
         return vertex_cover(self, exact_limit=exact_limit)
 
+    def components(self) -> list["QueryGraph"]:
+        """Split the batch into its query-graph connected components.
+
+        Queries in different components of ``G_q`` share no endpoints
+        (for directed batches, no source/target *copies*), so their
+        searches exchange no shortest-path information — each component
+        is an independent sub-batch.  This is the unit of work the batch
+        solvers decompose over: the serial multi-source solver runs the
+        components one by one and the process-pool backend ships them to
+        workers, which is what makes the two backends bit-identical.
+
+        Components are returned in order of first appearance in
+        ``original_pairs``; each sub-QueryGraph carries its own slice of
+        the original pairs (duplicates included).  A single-component
+        batch returns ``[self]`` without rebuilding.
+        """
+        parent = list(range(self.num_vertices))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for a, b in self.edges:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[rb] = ra
+
+        # Group pairs by the component of the source endpoint.  For
+        # directed batches index_of prefers the source copy, which is an
+        # endpoint of this pair's query edge, so it lands in the right
+        # component in both settings.
+        groups: dict[int, list[tuple[int, int]]] = {}
+        order: list[int] = []
+        for s, t in self.original_pairs:
+            root = find(self.index_of(s))
+            if root not in groups:
+                groups[root] = []
+                order.append(root)
+            groups[root].append((s, t))
+        if len(order) == 1:
+            return [self]
+        return [QueryGraph(groups[r], directed=self.directed) for r in order]
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"QueryGraph(|Vq|={self.num_vertices}, |Eq|={self.num_edges})"
 

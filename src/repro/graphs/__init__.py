@@ -10,6 +10,7 @@ from .connectivity import (
 from .generators import chung_lu_graph, social_graph, uniform_random_weights, web_graph
 from .knn import clustered_points, knn_graph, skewed_points, uniform_points
 from .road import road_graph
+from .shm import SharedGraph, ShmFingerprintError
 from .spatial import GridIndex, knn_graph_grid
 from .validate import assert_valid, validate_graph
 from . import io
@@ -34,6 +35,8 @@ __all__ = [
     "road_graph",
     "GridIndex",
     "knn_graph_grid",
+    "SharedGraph",
+    "ShmFingerprintError",
     "validate_graph",
     "assert_valid",
     "io",

@@ -195,6 +195,35 @@ class Graph:
         return self._fingerprint
 
     # ------------------------------------------------------------------
+    # Shared-memory export (process-pool backend substrate)
+    # ------------------------------------------------------------------
+    def to_shm(self, *, name: str | None = None):
+        """Export the CSR arrays into one shared-memory segment.
+
+        Returns a :class:`repro.graphs.shm.SharedGraph` owner handle whose
+        picklable ``descriptor`` lets worker processes attach the same
+        bytes zero-copy via :meth:`from_shm`.  The caller owns the
+        segment: call ``unlink()`` (or use the handle as a context
+        manager) when the last worker is done.
+        """
+        from .shm import export_graph
+
+        return export_graph(self, name=name)
+
+    @staticmethod
+    def from_shm(descriptor: dict, *, check: bool = True) -> "Graph":
+        """Attach a read-only :class:`Graph` view of a :meth:`to_shm` export.
+
+        With ``check=True`` the attached bytes are re-hashed and compared
+        against the descriptor's :meth:`fingerprint`; a mismatch raises
+        :class:`repro.graphs.shm.ShmFingerprintError` rather than
+        returning a graph that would yield wrong distances.
+        """
+        from .shm import attach_graph
+
+        return attach_graph(descriptor, check=check)
+
+    # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
     def reverse(self) -> "Graph":

@@ -1,0 +1,201 @@
+"""Zero-copy shared-memory export of CSR graphs.
+
+A :class:`~repro.graphs.csr.Graph` is three (optionally four) numpy
+arrays; exporting them into one POSIX shared-memory segment lets any
+number of worker processes attach the same bytes without pickling,
+copying, or re-validating the graph per task — the substrate of the
+process-pool batch backend (:mod:`repro.parallel.pool`).
+
+The contract mirrors the checkpoint/certificate layers: the exporting
+process owns the segment's lifetime (``SharedGraph.unlink`` — context
+manager form guarantees it on exception paths), and every attach
+verifies the graph :meth:`~repro.graphs.csr.Graph.fingerprint` against
+the descriptor before trusting the bytes, so a recycled segment name or
+a torn write surfaces as :class:`ShmFingerprintError` instead of wrong
+distances.
+
+Attachments are read-only views: workers share one physical copy and
+cannot corrupt it for their siblings (numpy raises on write).  On
+CPython < 3.13 the resource tracker registers *attaches* as if they
+were creations; :func:`attach_graph` unregisters again, but only in a
+process that runs its *own* tracker (an unrelated attacher, whose
+tracker would otherwise unlink the owner's segment at exit).
+Multiprocessing children — pool workers, fork or spawn — inherit the
+owner's tracker, where the duplicate registration is a no-op and an
+unregister would strip the owner's entry instead.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedGraph", "ShmFingerprintError", "export_graph", "attach_graph"]
+
+_ALIGN = 8
+
+
+class ShmFingerprintError(ValueError):
+    """The attached bytes do not hash to the descriptor's fingerprint."""
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass
+class SharedGraph:
+    """Owner handle of one exported graph segment.
+
+    ``descriptor`` is a plain picklable dict: everything a worker needs
+    to attach (segment name, dtypes, offsets, shapes, directedness) plus
+    the expected fingerprint.  The creating process must eventually call
+    :meth:`unlink` (idempotent; the context-manager form does it on the
+    way out, exceptions included) or the segment outlives the job.
+    """
+
+    descriptor: dict
+    shm: shared_memory.SharedMemory
+
+    @property
+    def name(self) -> str:
+        return self.descriptor["shm_name"]
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        try:
+            self.shm.close()
+        except (OSError, BufferError):  # pragma: no cover - defensive
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (idempotent; safe after a partial close)."""
+        self.close()
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+
+def export_graph(graph, *, name: str | None = None) -> SharedGraph:
+    """Copy ``graph``'s CSR arrays into one shared-memory segment.
+
+    O(n + m) one-time copy; every subsequent :func:`attach_graph` is
+    zero-copy.  ``name`` overrides the auto-generated segment name
+    (tests); collisions raise ``FileExistsError`` from the OS.
+    """
+    arrays = {
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+        "weights": graph.weights,
+    }
+    if graph.coords is not None:
+        arrays["coords"] = graph.coords
+    layout: dict[str, dict] = {}
+    offset = 0
+    for key, arr in arrays.items():
+        offset = _aligned(offset)
+        layout[key] = {
+            "offset": offset,
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+        }
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1), name=name)
+    try:
+        for key, arr in arrays.items():
+            spec = layout[key]
+            view = np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=spec["offset"]
+            )
+            view[...] = arr
+        descriptor = {
+            "kind": "repro-shm-graph",
+            "shm_name": shm.name,
+            "owner_pid": os.getpid(),
+            "fingerprint": graph.fingerprint(),
+            "directed": bool(graph.directed),
+            "coord_system": graph.coord_system,
+            "name": graph.name,
+            "layout": layout,
+        }
+    except BaseException:
+        # Never leak a half-written segment: destroy it before re-raising.
+        shm.close()
+        shm.unlink()
+        raise
+    return SharedGraph(descriptor=descriptor, shm=shm)
+
+
+def attach_graph(descriptor: dict, *, check: bool = True):
+    """Attach a worker-side :class:`Graph` view of an exported segment.
+
+    The returned graph's arrays are read-only views of the shared bytes
+    (one physical copy per host, any number of attached processes).  With
+    ``check=True`` (the default) the CSR arrays are re-hashed and compared
+    to the descriptor's fingerprint — an O(m) integrity gate paid once
+    per attach, exactly the checkpoint-resume trust model.
+
+    The graph keeps the mapping alive via an attribute; letting the graph
+    go out of scope drops the attachment.
+    """
+    from .csr import Graph  # local: csr imports nothing from here
+
+    if descriptor.get("kind") != "repro-shm-graph":
+        raise ValueError(f"not a shared-graph descriptor: {descriptor.get('kind')!r}")
+    shm = shared_memory.SharedMemory(name=descriptor["shm_name"])
+    # CPython < 3.13 registers attaches with the resource tracker as if
+    # this process created the segment.  In the owner itself or in a
+    # multiprocessing child the tracker is shared with the owner, so
+    # the duplicate registration is harmless and must stay (the owner's
+    # unlink balances it).  An unrelated process runs its own tracker,
+    # which would *unlink the owner's segment* at exit — undo there.
+    if descriptor.get("owner_pid") != os.getpid():
+        try:
+            from multiprocessing import parent_process, resource_tracker
+
+            if parent_process() is None:
+                resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    views = {}
+    for key, spec in descriptor["layout"].items():
+        arr = np.ndarray(
+            tuple(spec["shape"]),
+            dtype=np.dtype(spec["dtype"]),
+            buffer=shm.buf,
+            offset=spec["offset"],
+        )
+        arr.flags.writeable = False
+        views[key] = arr
+    graph = Graph(
+        indptr=views["indptr"],
+        indices=views["indices"],
+        weights=views["weights"],
+        directed=descriptor["directed"],
+        coords=views.get("coords"),
+        coord_system=descriptor.get("coord_system"),
+        name=descriptor.get("name", "graph"),
+        validate=False,
+    )
+    # Keep the mapping alive as long as the graph's views are.
+    graph._shm = shm
+    if check:
+        got = graph.fingerprint()
+        want = descriptor["fingerprint"]
+        if got != want:
+            shm.close()
+            raise ShmFingerprintError(
+                f"shared graph {descriptor['shm_name']!r} hashes to {got}, "
+                f"descriptor says {want}; refusing to attach"
+            )
+    return graph

@@ -158,6 +158,22 @@ class Observer:
             "repro_verify_quarantine_total",
             "Corrupt state quarantined instead of served "
             "(result-cache / checkpoint)", ("layer",))
+        self._pool_batches = r.counter(
+            "repro_pool_batches_total",
+            "Batches executed on the process-pool backend", ("method",))
+        self._pool_shards = r.counter(
+            "repro_pool_shards_total",
+            "Pool shards by completion status (ok / crashed)", ("status",))
+        self._pool_workers = r.gauge(
+            "repro_pool_workers",
+            "Worker processes of the most recent pool batch")
+        self._pool_shard_seconds = r.histogram(
+            "repro_pool_shard_seconds",
+            "Wall-clock from shard dispatch to shard completion",
+            buckets=TIME_BUCKETS)
+        self._pool_crashes = r.counter(
+            "repro_pool_worker_crashes_total",
+            "Pool workers that died mid-shard (SIGKILL/OOM)")
 
     # ------------------------------------------------------------------
     # Spans
@@ -242,6 +258,23 @@ class Observer:
             self._retries.inc()
         if self._span is not None:
             self._span.fold_fallback(method, attempt, outcome)
+
+    # ------------------------------------------------------------------
+    # Process-pool hooks
+    # ------------------------------------------------------------------
+    def on_pool_batch(self, method: str, workers: int, shards: int) -> None:
+        """Pool hook: one batch dispatched to the process backend."""
+        self._pool_batches.inc(method=method)
+        self._pool_workers.set(workers)
+
+    def on_pool_shard(self, status: str, seconds: float) -> None:
+        """Pool hook: one shard reached a terminal status (ok / crashed)."""
+        self._pool_shards.inc(status=status)
+        self._pool_shard_seconds.observe(seconds)
+
+    def on_pool_crash(self) -> None:
+        """Pool hook: a worker process died mid-shard."""
+        self._pool_crashes.inc()
 
     # ------------------------------------------------------------------
     # Serve-pipeline hooks

@@ -1,6 +1,20 @@
-"""Simulated parallel machine: cost model, fork-join simulator, primitives."""
+"""Parallel execution: cost model, fork-join simulator, process pool.
 
-from .cost_model import WorkDepthMeter, simulated_time, speedup_curve
+The cost model and fork-join simulator *simulate* the paper's machine;
+:mod:`repro.parallel.pool` (imported lazily — it pulls in the batch
+solvers, which import this package) runs batches on real worker
+processes over a shared-memory graph.
+"""
+
+from .cost_model import (
+    WorkDepthMeter,
+    balance_shards,
+    estimate_bids_work,
+    estimate_multi_work,
+    estimate_sssp_work,
+    simulated_time,
+    speedup_curve,
+)
 from .forkjoin import ForkJoinSimulator, Task, fork, leaf, parallel_for_task
 from .primitives import dedup, exclusive_scan, expand_ranges, pack, write_min
 
@@ -8,6 +22,10 @@ __all__ = [
     "WorkDepthMeter",
     "simulated_time",
     "speedup_curve",
+    "estimate_sssp_work",
+    "estimate_bids_work",
+    "estimate_multi_work",
+    "balance_shards",
     "ForkJoinSimulator",
     "Task",
     "fork",
@@ -18,4 +36,18 @@ __all__ = [
     "dedup",
     "exclusive_scan",
     "expand_ranges",
+    "ProcessPool",
+    "WorkerCrashError",
+    "solve_batch_process",
 ]
+
+_POOL_EXPORTS = {"ProcessPool", "WorkerCrashError", "solve_batch_process"}
+
+
+def __getattr__(name):
+    # Lazy: pool -> core.batch -> parallel.cost_model -> this package.
+    if name in _POOL_EXPORTS:
+        from . import pool
+
+        return getattr(pool, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,606 @@
+"""Process-pool batch backend: real workers over a shared-memory graph.
+
+The rest of :mod:`repro.parallel` *simulates* the paper's machine; this
+module runs a batch on actual worker processes.  The decomposition is
+the one the batch solvers already use (PR lineage: MBQ-style inter-query
+parallelism):
+
+* ``multi``            — one work unit per query-graph connected
+  component (the serial solver runs the same components one by one);
+* ``plain-bids`` / ``plain-star-bids`` — one unit per query edge;
+* ``sssp-plain`` / ``sssp-vc``        — one unit per covering SSSP
+  source, carrying the queries that source answers.
+
+Units are packed into one shard per worker by the cost model's a-priori
+work estimates (:func:`~repro.parallel.cost_model.balance_shards`), so
+the simulated machine's load-balancing story is checkable against real
+wall-clock.  Workers attach the graph zero-copy via
+:meth:`~repro.graphs.csr.Graph.from_shm` (fingerprint-gated) and return
+plain per-unit payloads; the parent reassembles them in the exact order
+— and with the exact meter-merge structure — the serial backend uses,
+which is what makes the merged :class:`~repro.core.batch.BatchResult`
+**bit-identical** to ``backend="serial"``: same distances, same paths,
+same certificates, same work/depth meter.
+
+Worker death (SIGKILL, OOM) surfaces as :class:`WorkerCrashError`; the
+serve pipeline treats that as a shard failure, so its breakers and
+checkpoint/resume machinery recover exactly as for any other fault.
+
+Inherently single-process features — ``budget``, ``arena``,
+``strategy_factory``, ``max_sources``, auditors/tracing — are rejected
+up front rather than silently diverging from serial semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+
+from ..core.batch import BatchResult, _plain_sssp_sources, _solve_multi_component
+from ..core.engine import run_policy
+from ..core.paths import PathError, walk_path
+from ..core.policies import BiDS, SsspPolicy
+from ..core.query_graph import QueryGraph
+from ..graphs.csr import Graph
+from ..graphs.shm import SharedGraph, export_graph
+from .cost_model import (
+    WorkDepthMeter,
+    balance_shards,
+    estimate_bids_work,
+    estimate_multi_work,
+    estimate_sssp_work,
+)
+
+__all__ = ["ProcessPool", "WorkerCrashError", "solve_batch_process"]
+
+#: engine kwargs that are safe to ship to workers: pure per-run knobs
+#: with no cross-run or parent-side state.
+_SHIPPABLE_ENGINE_KWARGS = frozenset(
+    {"frontier_mode", "pull_relax", "max_steps", "track_processed"}
+)
+
+#: FaultInjector knobs that act inside an engine run.  An injector's
+#: seeded RNG lives in the parent; shipping a copy per worker would
+#: fire different faults than the serial run, so these are rejected
+#: (``kill_worker_at`` is pool-level and stays parent-side).
+_ENGINE_FAULT_ATTRS = (
+    "corrupt_dist_at",
+    "corrupt_mu_at",
+    "drop_frontier_at",
+    "raise_at",
+    "stall_at",
+    "flip_dist_at",
+)
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died mid-shard (SIGKILL, OOM, segfault).
+
+    The batch produced no partial answers — shards are all-or-nothing —
+    so retrying the batch (what the serve pipeline's fallback chain
+    does) is always safe.
+    """
+
+
+class ProcessPool:
+    """A reusable pool of worker processes with shared-graph caching.
+
+    Graph exports are cached per fingerprint, so serving many batches
+    over the same graph pays the O(n + m) shared-memory copy once.
+    :meth:`close` (or the context-manager exit) shuts the workers down
+    and unlinks every exported segment — nothing may outlive the pool.
+
+    ``mp_context`` defaults to ``"fork"`` where available (workers
+    inherit the parent's imports; startup is milliseconds); pass
+    ``"spawn"`` on platforms without fork.
+    """
+
+    def __init__(self, workers: int | None = None, *, mp_context=None) -> None:
+        self.workers = max(1, int(workers) if workers is not None else os.cpu_count() or 1)
+        if mp_context is None:
+            try:
+                mp_context = get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                mp_context = get_context("spawn")
+        elif isinstance(mp_context, str):
+            mp_context = get_context(mp_context)
+        self._mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+        self._shared: dict[str, SharedGraph] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def share(self, graph) -> dict:
+        """Export ``graph`` (cached by fingerprint); return the descriptor."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        fp = graph.fingerprint()
+        handle = self._shared.get(fp)
+        if handle is None:
+            handle = export_graph(graph)
+            self._shared[fp] = handle
+        return handle.descriptor
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._mp_context
+            )
+        return self._executor
+
+    def _discard_executor(self) -> None:
+        """Drop a broken executor; the next batch builds a fresh one."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def run_shards(self, tasks: list[dict], *, observer=None) -> list[dict]:
+        """Execute shard tasks on the workers; results in shard order.
+
+        A worker death poisons the executor (every pending shard with
+        it), so the executor is discarded and :class:`WorkerCrashError`
+        raised — the caller retries the whole batch or fails the shard
+        upward.  Any ordinary exception from a worker propagates as-is,
+        exactly as the serial backend would raise it.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if not tasks:
+            return []
+        executor = self._ensure_executor()
+        start = time.perf_counter()
+        futures = [executor.submit(_pool_worker, task) for task in tasks]
+        results: list[dict] = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BrokenProcessPool:
+                elapsed = time.perf_counter() - start
+                self._discard_executor()
+                if observer is not None:
+                    observer.on_pool_crash()
+                    observer.on_pool_shard("crashed", elapsed)
+                raise WorkerCrashError(
+                    "a pool worker died mid-shard; the batch produced no answers"
+                ) from None
+            if observer is not None:
+                observer.on_pool_shard("ok", time.perf_counter() - start)
+        return results
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down workers and unlink every exported segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        for handle in self._shared.values():
+            handle.unlink()
+        self._shared.clear()
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker side.  Module-level so spawn contexts can import it; fork
+# contexts inherit it.  One attached graph per (segment, fingerprint),
+# cached for the worker's lifetime.
+# ----------------------------------------------------------------------
+_ATTACHED: dict[tuple[str, str], object] = {}
+
+
+def _attached_graph(descriptor: dict):
+    key = (descriptor["shm_name"], descriptor["fingerprint"])
+    graph = _ATTACHED.get(key)
+    if graph is None:
+        graph = Graph.from_shm(descriptor)
+        _ATTACHED[key] = graph
+    return graph
+
+
+def _pool_worker(task: dict) -> dict:
+    graph = _attached_graph(task["graph"])
+    units = task["units"]
+    # Injected worker death: SIGKILL halfway through the shard, after
+    # real work has happened — no cleanup, no exception, like the OOM
+    # killer.  The parent sees BrokenProcessPool.
+    kill_at = len(units) // 2 if task.get("kill") else None
+    out = []
+    for pos, unit in enumerate(units):
+        if kill_at is not None and pos == kill_at:
+            os.kill(os.getpid(), signal.SIGKILL)
+        out.append(_run_unit(graph, task, unit))
+    if kill_at is not None and kill_at >= len(units):  # pragma: no cover
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"shard": task["shard"], "units": out}
+
+
+def _run_unit(graph, task: dict, unit: dict) -> dict:
+    method = task["method"]
+    strategy = task["strategy"]
+    ek = dict(task["engine_kwargs"])
+    certify = task["certify"]
+    if certify:
+        ek["track_processed"] = True
+    if method == "multi":
+        return _run_multi_unit(graph, task, unit, strategy, ek, certify)
+    if method in ("plain-bids", "plain-star-bids"):
+        return _run_bids_unit(graph, unit, strategy, ek, certify)
+    return _run_sssp_unit(graph, task, unit, strategy, ek, certify)
+
+
+def _run_multi_unit(graph, task, unit, strategy, ek, certify) -> dict:
+    sub = QueryGraph(unit["pairs"], directed=task["directed"])
+    res = _solve_multi_component(graph, sub, strategy, ek, certify)
+    paths: dict[tuple[int, int], list[int] | None] = {}
+    for key in res.distances:
+        try:
+            paths[key] = res.path(*key)
+        except (PathError, ValueError, IndexError, KeyError):
+            paths[key] = None
+    return {
+        "index": unit["index"],
+        "distances": res.distances,
+        "meter": res.meter,
+        "num_searches": res.num_searches,
+        "exact": res.exact,
+        "steps": res.details["steps"],
+        "relaxations": res.details["relaxations"],
+        "certs": res.certificates,
+        "paths": paths,
+    }
+
+
+def _run_bids_unit(graph, unit, strategy, ek, certify) -> dict:
+    s, t = unit["s"], unit["t"]
+    res = run_policy(graph, BiDS(s, t), strategy=strategy, **ek)
+    cert = None
+    if certify:
+        from ..verify import certificate_for_run  # lazy: verify imports obs
+
+        cert = certificate_for_run(
+            graph, s, t, "bids", float(res.answer), not res.exhausted, res
+        )
+    return {
+        "index": unit["index"],
+        "distance": res.answer,
+        "meter": res.meter,
+        "exact": not res.exhausted,
+        "cert": cert,
+    }
+
+
+def _run_sssp_unit(graph, task, unit, strategy, ek, certify) -> dict:
+    from ..core.batch import _sssp_certificate
+
+    qi = unit["qi"]
+    reverse = unit["reverse"]
+    g = graph.reverse() if reverse else graph
+    res = run_policy(g, SsspPolicy(unit["v"]), strategy=strategy, **ek)
+    row = res.distances_from(0)
+    exact = not res.exhausted
+    rows = {qi: row}
+    prows = {}
+    if certify and res.processed_dist is not None:
+        prows[qi] = res.processed_dist[0]
+    covered = task["covered"]
+    answers: dict[tuple[int, int], float] = {}
+    certs: dict | None = {} if certify else None
+    paths: dict[tuple[int, int], list[int] | None] = {}
+    for pair in unit["pairs"]:
+        (s, t), i, j = pair["key"], pair["i"], pair["j"]
+        # The same elif chain the serial combiner walks: prefer the
+        # source endpoint's row when it is covered.
+        if i in covered:
+            answers[(s, t)] = float(row[t])
+        else:
+            answers[(s, t)] = float(row[s])
+        if certs is not None:
+            certs[(s, t)] = _sssp_certificate(
+                graph, None, task["method"], s, t, i, j, answers[(s, t)],
+                rows, prows, covered, {qi: exact}, {qi: reverse},
+            )
+        try:
+            if i in covered:
+                paths[(s, t)] = walk_path(graph, row, s, t)
+            else:
+                g_row = graph.reverse() if (graph.directed and reverse) else graph
+                paths[(s, t)] = walk_path(g_row, row, t, s)[::-1]
+        except (PathError, ValueError, IndexError, KeyError):
+            paths[(s, t)] = None
+    return {
+        "index": unit["index"],
+        "meter": res.meter,
+        "exact": exact,
+        "answers": answers,
+        "certs": certs,
+        "paths": paths,
+    }
+
+
+# ----------------------------------------------------------------------
+# Parent side: plan units, pack shards, dispatch, reassemble.
+# ----------------------------------------------------------------------
+def solve_batch_process(
+    graph,
+    qg: QueryGraph,
+    *,
+    method: str,
+    strategy=None,
+    strategy_factory=None,
+    max_sources=None,
+    budget=None,
+    arena=None,
+    observer=None,
+    certify: bool = False,
+    workers: int | None = None,
+    pool: ProcessPool | None = None,
+    **engine_kwargs,
+) -> BatchResult:
+    """Answer a batch on worker processes, bit-identical to serial.
+
+    Called through ``solve_batch(..., backend="process")``; ``qg`` is
+    already validated.  Pass an existing :class:`ProcessPool` to reuse
+    workers and the shared graph across batches; otherwise an ephemeral
+    pool of ``workers`` processes is created and torn down (segments
+    unlinked) around this one batch, exception paths included.
+    """
+    for arg, label in (
+        (budget, "budget"),
+        (arena, "arena"),
+        (strategy_factory, "strategy_factory"),
+        (max_sources, "max_sources"),
+    ):
+        if arg is not None:
+            raise ValueError(
+                f"{label} is not supported by backend='process'; "
+                "it is inherently single-process — use backend='serial'"
+            )
+    injector = engine_kwargs.pop("fault_injector", None)
+    if injector is not None and _has_engine_faults(injector):
+        raise ValueError(
+            "backend='process' cannot replay engine-level fault injection "
+            "(the injector's seeded RNG lives in the parent); only "
+            "kill_worker_at is supported with the process backend"
+        )
+    unsupported = set(engine_kwargs) - _SHIPPABLE_ENGINE_KWARGS
+    if unsupported:
+        raise ValueError(
+            f"engine kwargs {sorted(unsupported)} are not supported by "
+            f"backend='process'; shippable: {sorted(_SHIPPABLE_ENGINE_KWARGS)}"
+        )
+
+    own_pool = pool is None
+    if own_pool:
+        pool = ProcessPool(workers)
+    try:
+        units, costs, extras = _plan_units(graph, qg, method)
+        shards = balance_shards(costs, pool.workers)
+        descriptor = pool.share(graph)
+        tasks = []
+        for shard_idx, unit_ids in enumerate(shards):
+            task = {
+                "shard": shard_idx,
+                "graph": descriptor,
+                "method": method,
+                "directed": qg.directed,
+                "strategy": strategy,
+                "engine_kwargs": engine_kwargs,
+                "certify": certify,
+                "units": [units[u] for u in unit_ids],
+            }
+            task.update(extras)
+            if injector is not None and injector.take_worker_kill(shard_idx):
+                task["kill"] = True
+            tasks.append(task)
+        if observer is not None:
+            observer.on_pool_batch(method, pool.workers, len(tasks))
+        shard_results = pool.run_shards(tasks, observer=observer)
+        by_unit: dict[int, dict] = {}
+        for shard in shard_results:
+            for unit_res in shard["units"]:
+                by_unit[unit_res["index"]] = unit_res
+        ordered = [by_unit[i] for i in range(len(units))]
+        res = _reassemble(graph, qg, method, ordered, extras, certify)
+    finally:
+        if own_pool:
+            pool.close()
+    if observer is not None:
+        observer.on_batch(method, res)
+    return res
+
+
+def _has_engine_faults(injector) -> bool:
+    if any(getattr(injector, attr, None) is not None for attr in _ENGINE_FAULT_ATTRS):
+        return True
+    return bool(
+        getattr(injector, "perturb_heuristic", False)
+        or getattr(injector, "flip_cache_payload", False)
+        or getattr(injector, "flip_checkpoint", False)
+    )
+
+
+def _plan_units(graph, qg: QueryGraph, method: str):
+    """Decompose the batch into work units + cost estimates + task extras."""
+    n, m = graph.num_vertices, graph.num_edges
+    verts = qg.vertices
+    if method == "multi":
+        comps = qg.components()
+        units = [
+            {"index": k, "pairs": sub.original_pairs} for k, sub in enumerate(comps)
+        ]
+        costs = [estimate_multi_work(sub.num_vertices, n, m) for sub in comps]
+        return units, costs, {}
+    if method in ("plain-bids", "plain-star-bids"):
+        units = []
+        for pos, (i, j) in enumerate(qg.edges):
+            units.append({"index": pos, "s": int(verts[i]), "t": int(verts[j])})
+        costs = [estimate_bids_work(n, m)] * len(units)
+        return units, costs, {}
+    # SSSP methods: one unit per covering source, carrying its queries.
+    if method == "sssp-plain":
+        source_indices = _plain_sssp_sources(qg)
+    else:
+        source_indices = qg.vertex_cover()
+    covered = set(int(q) for q in source_indices)
+    pairs_by_source: dict[int, list[dict]] = {q: [] for q in covered}
+    self_pairs: list[tuple[tuple[int, int], int, int]] = []
+    for i, j in qg.edges:
+        s, t = int(verts[i]), int(verts[j])
+        if s == t:
+            self_pairs.append(((s, t), i, j))
+        elif i in covered:
+            pairs_by_source[i].append({"key": (s, t), "i": i, "j": j})
+        elif j in covered:
+            pairs_by_source[j].append({"key": (s, t), "i": i, "j": j})
+        else:
+            raise ValueError(
+                f"query ({s}, {t}) not covered by SSSP sources; "
+                f"method {method!r} needs a covering source set"
+            )
+    units = []
+    for pos, qi in enumerate(source_indices):
+        qi = int(qi)
+        units.append(
+            {
+                "index": pos,
+                "qi": qi,
+                "v": int(verts[qi]),
+                "reverse": bool(
+                    graph.directed
+                    and qg.direction is not None
+                    and qg.direction[qi] < 0
+                ),
+                "pairs": pairs_by_source[qi],
+            }
+        )
+    costs = [estimate_sssp_work(n, m)] * len(units)
+    return units, costs, {"covered": covered, "self_pairs": self_pairs}
+
+
+def _reassemble(
+    graph, qg: QueryGraph, method: str, ordered: list[dict], extras: dict, certify: bool
+) -> BatchResult:
+    """Merge per-unit payloads exactly the way the serial backend does."""
+    if method == "multi":
+        return _reassemble_multi(qg, ordered, certify)
+    if method in ("plain-bids", "plain-star-bids"):
+        return _reassemble_bids(qg, method, ordered, certify)
+    return _reassemble_sssp(graph, qg, method, ordered, extras, certify)
+
+
+def _reassemble_multi(qg: QueryGraph, ordered: list[dict], certify: bool) -> BatchResult:
+    distances: dict[tuple[int, int], float] = {}
+    paths: dict[tuple[int, int], list[int] | None] = {}
+    certs: dict | None = {} if certify else None
+    for unit in ordered:
+        distances.update(unit["distances"])
+        paths.update(unit["paths"])
+        if certs is not None and unit["certs"]:
+            certs.update(unit["certs"])
+    if len(ordered) == 1:
+        # Single component: the serial backend returns the engine run's
+        # meter as-is, with no merge step.
+        meter = ordered[0]["meter"]
+        details = {
+            "steps": ordered[0]["steps"],
+            "relaxations": ordered[0]["relaxations"],
+        }
+    else:
+        meter = WorkDepthMeter()
+        meter.merge_parallel([unit["meter"] for unit in ordered])
+        details = {
+            "components": len(ordered),
+            "steps": sum(unit["steps"] for unit in ordered),
+            "relaxations": sum(unit["relaxations"] for unit in ordered),
+        }
+    return BatchResult(
+        distances=distances,
+        meter=meter,
+        method="multi",
+        num_searches=sum(unit["num_searches"] for unit in ordered),
+        exact=all(unit["exact"] for unit in ordered),
+        details=details,
+        certificates=certs,
+        _path_state={"kind": "precomputed", "paths": paths},
+    )
+
+
+def _reassemble_bids(
+    qg: QueryGraph, method: str, ordered: list[dict], certify: bool
+) -> BatchResult:
+    verts = qg.vertices
+    distances: dict[tuple[int, int], float] = {}
+    certs: dict | None = {} if certify else None
+    for pos, (i, j) in enumerate(qg.edges):
+        key = (int(verts[i]), int(verts[j]))
+        distances[key] = ordered[pos]["distance"]
+        if certs is not None:
+            certs[key] = ordered[pos]["cert"]
+    combined = WorkDepthMeter()
+    meters = [unit["meter"] for unit in ordered]
+    if method == "plain-star-bids":
+        combined.merge_parallel(meters)
+    else:
+        for meter in meters:
+            combined.merge(meter)
+    return BatchResult(
+        distances=distances,
+        meter=combined,
+        method=method,
+        num_searches=2 * qg.num_edges,
+        exact=all(unit["exact"] for unit in ordered),
+        certificates=certs,
+        # The serial plain modes discard per-query state; paths raise
+        # NotImplementedError there, so they must raise here too.
+        _path_state=None,
+    )
+
+
+def _reassemble_sssp(
+    graph, qg: QueryGraph, method: str, ordered: list[dict], extras: dict, certify: bool
+) -> BatchResult:
+    distances: dict[tuple[int, int], float] = {}
+    paths: dict[tuple[int, int], list[int] | None] = {}
+    certs: dict | None = {} if certify else None
+    combined = WorkDepthMeter()
+    for unit in ordered:
+        combined.merge(unit["meter"])
+        distances.update(unit["answers"])
+        paths.update(unit["paths"])
+        if certs is not None and unit["certs"]:
+            certs.update(unit["certs"])
+    for key, _i, _j in extras["self_pairs"]:
+        # Self-queries are their own answer; the serial combiner never
+        # consults a row for them, and path() short-circuits to [s].
+        distances[key] = 0.0
+        if certs is not None:
+            from ..verify import build_certificate  # lazy: verify imports obs
+
+            s, t = key
+            certs[key] = build_certificate(graph, s, t, method, 0.0, True)
+    return BatchResult(
+        distances=distances,
+        meter=combined,
+        method=method,
+        num_searches=len(ordered),
+        exact=all(unit["exact"] for unit in ordered),
+        certificates=certs,
+        _path_state={"kind": "precomputed", "paths": paths},
+    )

@@ -35,6 +35,11 @@ or becomes inf/nan) but stays a legal float:
   checkpoint sidecar (``on_checkpoint_written``), corrupting durable
   state a resume would otherwise trust.
 
+``kill_worker_at`` (PR 7) targets the process-pool backend instead of
+the engine: the worker running the given shard index SIGKILLs itself
+mid-shard, modeling an OOM-killed or segfaulted worker process that the
+pool must surface as a shard failure.
+
 Every decision flows from one seeded RNG plus hash-based per-vertex
 noise, so a chaos run is exactly reproducible from its seed.  Injection
 stops after ``max_fires`` faults, which is how "transient" failures are
@@ -121,6 +126,7 @@ class FaultInjector:
         flip_dist_count: int = 1,
         flip_cache_payload: bool = False,
         flip_checkpoint: bool = False,
+        kill_worker_at: int | None = None,
         clock=None,
         max_fires: int = 1,
     ) -> None:
@@ -142,6 +148,7 @@ class FaultInjector:
         self.flip_dist_count = int(flip_dist_count)
         self.flip_cache_payload = bool(flip_cache_payload)
         self.flip_checkpoint = bool(flip_checkpoint)
+        self.kill_worker_at = kill_worker_at
         #: the SimClock (anything with ``advance``) that stall faults
         #: push forward; stalls are inert without one.
         self.clock = clock
@@ -238,6 +245,21 @@ class FaultInjector:
                 keep = np.delete(ids, victims)
                 frontier.replace(keep, assume_sorted=True)
                 self._record(step, "drop-frontier")
+
+    # -- process-pool hooks ---------------------------------------------
+    def take_worker_kill(self, shard_index: int) -> bool:
+        """Should the worker executing shard ``shard_index`` be SIGKILLed?
+
+        Consulted by :mod:`repro.parallel.pool` before dispatching each
+        shard; a ``True`` return makes the worker process kill itself
+        (``SIGKILL`` — no cleanup, no exception) partway through the
+        shard, modeling an OOM-killed or crashed worker.  Fires at most
+        once per ``max_fires``, like every other fault class.
+        """
+        if self.kill_worker_at == shard_index and self._armed():
+            self._record(shard_index, "kill-worker")
+            return True
+        return False
 
     # -- storage hooks --------------------------------------------------
     def corrupt_warm_answer(self, answer):

@@ -168,6 +168,20 @@ class ServePipeline:
         at a checkpoint boundary.
     strategy_factory : callable or None
         Forwarded to :func:`~repro.core.batch.solve_batch`.
+    backend : str
+        ``"serial"`` (default) or ``"process"``: run each shard's batch
+        on the :mod:`repro.parallel.pool` worker backend.  Answers are
+        bit-identical either way.  A worker death surfaces as a shard
+        failure — the breaker trips and the shard's queries route
+        through the per-query resilient chain, exactly like any other
+        shard fault, so checkpoint/resume semantics are unchanged.
+        Shards that carry a budget or live deadlines run serially (the
+        budget meter is inherently single-process).
+    workers : int or None
+        Pool size for ``backend="process"`` (default: CPU count).
+    pool : repro.parallel.pool.ProcessPool or None
+        Reuse an existing pool (and its shared graph export) across
+        runs; by default each ``run()`` builds and tears down its own.
     verify : bool
         Turn on the answer-verification stage: certificates are
         requested from every solver, checked per answer, and failing
@@ -201,9 +215,14 @@ class ServePipeline:
         strategy_factory=None,
         verify: bool = False,
         checker=None,
+        backend: str = "serial",
+        workers: int | None = None,
+        pool=None,
     ) -> None:
         if method not in SERVE_METHODS:
             raise ValueError(f"unknown serve method {method!r}; options: {SERVE_METHODS}")
+        if backend not in ("serial", "process"):
+            raise ValueError(f"unknown backend {backend!r}; options: serial, process")
         if checkpoint_every < 1:
             raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
         if deadline_ms is not None and deadline_ms < 0:
@@ -222,6 +241,10 @@ class ServePipeline:
         self.fault_injector = fault_injector
         self.checkpoint_hook = checkpoint_hook
         self.strategy_factory = strategy_factory
+        self.backend = backend
+        self.workers = workers
+        self.pool = pool
+        self._pool = None
         self.verify = bool(verify)
         if self.verify and checker is None:
             from ..verify import CertificateChecker
@@ -315,26 +338,39 @@ class ServePipeline:
         elif resume:
             raise ValueError("resume=True needs a checkpoint_path to resume from")
 
-        for si, shard in enumerate(shards):
-            if si in completed:
-                continue
-            if obs is not None:
-                with obs.span("serve-shard"):
-                    shard_results = self._process_shard(shard)
-            else:
-                shard_results = self._process_shard(shard)
-            for key, (dist, exact, status) in shard_results.items():
-                result.distances[key] = dist
-                result.exact[key] = exact
-                result.outcomes[key] = status
-                if status == TIMEOUT:
-                    result.timeouts.append(key)
+        self._pool = self.pool
+        own_pool = self.backend == "process" and self._pool is None
+        if own_pool:
+            from ..parallel.pool import ProcessPool
+
+            self._pool = ProcessPool(self.workers)
+        try:
+            for si, shard in enumerate(shards):
+                if si in completed:
+                    continue
                 if obs is not None:
-                    obs.on_serve_query(status)
-            completed.add(si)
-            if store is not None:
-                self._checkpoint(store, fingerprint, shards, completed, result)
-                result.checkpoints_written += 1
+                    with obs.span("serve-shard"):
+                        shard_results = self._process_shard(shard)
+                else:
+                    shard_results = self._process_shard(shard)
+                for key, (dist, exact, status) in shard_results.items():
+                    result.distances[key] = dist
+                    result.exact[key] = exact
+                    result.outcomes[key] = status
+                    if status == TIMEOUT:
+                        result.timeouts.append(key)
+                    if obs is not None:
+                        obs.on_serve_query(status)
+                completed.add(si)
+                if store is not None:
+                    self._checkpoint(store, fingerprint, shards, completed, result)
+                    result.checkpoints_written += 1
+        finally:
+            # Segments must not outlive the run, even when a checkpoint
+            # hook (the crash-simulation path) raises mid-batch.
+            if own_pool:
+                self._pool.close()
+            self._pool = None
 
         result.breaker_states = self.breakers.states()
         result.details["num_shards"] = len(shards)
@@ -498,6 +534,16 @@ class ServePipeline:
         board = self.breakers
         if board.allow(self.method):
             budget = self._shard_budget(live)
+            backend_kwargs = {}
+            if (
+                self.backend == "process"
+                and budget is None
+                and self.strategy_factory is None
+            ):
+                # Budgeted/deadline shards and stateful strategy
+                # factories are single-process by nature; those shards
+                # run serially, everything else goes to the pool.
+                backend_kwargs = {"backend": "process", "pool": self._pool}
             try:
                 res = solve_batch(
                     self.graph,
@@ -508,6 +554,7 @@ class ServePipeline:
                     fault_injector=self.fault_injector,
                     observer=self.observer,
                     certify=self.verify,
+                    **backend_kwargs,
                 )
             except Exception:  # noqa: BLE001 — shard failure must be contained
                 board.record_failure(self.method)

@@ -1,0 +1,128 @@
+"""Chaos: SIGKILL a pool worker mid-shard; serving must still be right.
+
+A killed worker surfaces as :class:`~repro.parallel.pool.WorkerCrashError`
+— a whole-shard failure with no partial answers — so the serve pipeline's
+existing failure ladder (circuit breaker, per-query resilient chain)
+absorbs it exactly like any other shard fault.  The bar is the one every
+chaos suite in this repo holds: every query answered (no ``failed``
+outcomes), every answer equal to the serial ground truth, and with
+``verify=True`` every certificate checks out — a crash may cost wall
+clock, never correctness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import dijkstra
+from repro.core.batch import solve_batch
+from repro.parallel.pool import ProcessPool, WorkerCrashError
+from repro.robustness import FaultInjector
+from repro.serve import ServePipeline
+from tests.test_differential import _random_geometric
+
+pytestmark = pytest.mark.pool
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph, pairs = _random_geometric(2)  # undirected, has duplicate points
+    return graph, pairs
+
+
+def _ground_truth(graph, pairs):
+    return {
+        (s, t): float(dijkstra(graph, s)[t]) for s, t in pairs
+    }
+
+
+class TestWorkerKill:
+    def test_solve_batch_surfaces_crash_then_retries_clean(self, instance):
+        """At the batch layer a kill is loud: WorkerCrashError, nothing
+        partial; the spent injector then lets a retry through, and the
+        retry is bit-identical to serial."""
+        graph, pairs = instance
+        serial = solve_batch(graph, pairs, method="multi")
+        injector = FaultInjector(seed=1, kill_worker_at=0)
+        with ProcessPool(2) as pool:
+            with pytest.raises(WorkerCrashError):
+                solve_batch(
+                    graph, pairs, method="multi", backend="process",
+                    pool=pool, fault_injector=injector,
+                )
+            assert ("kill-worker" in [kind for _, kind in injector.fired])
+            retry = solve_batch(
+                graph, pairs, method="multi", backend="process",
+                pool=pool, fault_injector=injector,  # spent: fires at most once
+            )
+        assert retry.distances == serial.distances
+        assert retry.exact == serial.exact
+
+    @pytest.mark.parametrize("method", ["multi", "sssp-vc"])
+    def test_pipeline_recovers_to_ground_truth(self, instance, method):
+        """The issue's headline property: kill a worker mid-shard under a
+        verifying pipeline — same answers as serial, nothing failed,
+        nothing silently wrong."""
+        graph, pairs = instance
+        truth = _ground_truth(graph, pairs)
+        reference = ServePipeline(graph, method=method).run(pairs)
+        pipe = ServePipeline(
+            graph, method=method, backend="process", workers=2, verify=True,
+            fault_injector=FaultInjector(seed=3, kill_worker_at=0),
+        )
+        res = pipe.run(pairs)
+        assert "failed" not in res.counts()
+        # Queries on the crashed shard recover through the resilient
+        # per-query chain — a different (but exact) method, so their
+        # float summation order may differ from the batch reference by
+        # an ulp.  Correctness is vs ground truth; bitwise identity is
+        # the *clean-path* contract (see test_pool_differential).
+        for s, t in pairs:
+            assert res.distance(s, t) == pytest.approx(truth[(s, t)], rel=1e-12)
+            assert res.distance(s, t) == pytest.approx(
+                reference.distance(s, t), rel=1e-12
+            )
+        verification = res.details["verification"]
+        assert verification["failed"] == 0
+        assert verification["invalid"] == 0
+        assert verification["checked"] >= len(pairs)
+
+    def test_checkpoint_resume_after_kill_matches_uninterrupted(
+        self, instance, tmp_path
+    ):
+        """Crash the host process after the first durable write while the
+        process backend is also losing a worker; the resumed job must
+        still converge to the uninterrupted answers."""
+        graph, pairs = instance
+
+        class Killed(RuntimeError):
+            pass
+
+        def kill_after_first(manifest):
+            if len(manifest["completed_shards"]) == 1:
+                raise Killed("simulated host crash")
+
+        reference = ServePipeline(
+            graph, method="multi", checkpoint_every=2,
+        ).run(pairs)
+        path = tmp_path / "job.json"
+        pipe = ServePipeline(
+            graph, method="multi", backend="process", workers=2,
+            checkpoint_path=path, checkpoint_every=2,
+            checkpoint_hook=kill_after_first,
+            fault_injector=FaultInjector(seed=5, kill_worker_at=1),
+        )
+        with pytest.raises(Killed):
+            pipe.run(pairs)
+        resumed = ServePipeline(
+            graph, method="multi", backend="process", workers=2,
+            checkpoint_path=path, checkpoint_every=2,
+        ).run(pairs, resume=True)
+        assert "failed" not in resumed.counts()
+        assert set(resumed.distances) == set(reference.distances)
+        for key, want in reference.distances.items():
+            # The shard that lost its worker pre-crash was re-answered
+            # by the resilient chain before being checkpointed; exact
+            # answers, possibly an ulp off the batch reference.
+            assert resumed.distances[key] == pytest.approx(want, rel=1e-12), key
+        assert resumed.exact == reference.exact

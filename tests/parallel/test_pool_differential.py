@@ -1,0 +1,120 @@
+"""Differential determinism: process-pool backend vs serial, bitwise.
+
+Every batch method, on the same seeded random-geometric family the
+method-vs-Dijkstra suite uses (directed and undirected instances,
+zero-weight edges, disconnected and self pairs), solved serially and
+through :mod:`repro.parallel.pool` at 1, 2, and 4 workers — asserting
+**equality**, not approximation: distances, cost-model meters,
+certificates, and reconstructed paths must be the same bits regardless
+of how the batch was sharded.
+
+``POOL_SMOKE=1`` trims the sweep to a CI-sized slice (2 workers, three
+seeds); ``-k "w2"`` selects one worker count from the full matrix.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.batch import BATCH_METHODS, solve_batch
+from repro.core.paths import PathError
+from repro.parallel.pool import ProcessPool
+from tests.test_differential import _check_path, _random_geometric
+
+pytestmark = pytest.mark.pool
+
+_SMOKE = bool(os.environ.get("POOL_SMOKE"))
+# Seeds 0 and 6 are directed instances (every third seed is).
+SEEDS = (0, 2, 6) if _SMOKE else tuple(range(0, 12, 2))
+WORKER_COUNTS = (2,) if _SMOKE else (1, 2, 4)
+#: methods whose serial backend retains per-pair path state.
+PATH_METHODS = ("multi", "sssp-plain", "sssp-vc")
+
+
+@pytest.fixture(scope="module", params=WORKER_COUNTS, ids=lambda w: f"w{w}")
+def pool(request):
+    """One shared pool per worker count — reused across every seed and
+    method, like a serving process would, so the suite also exercises
+    segment caching and executor reuse."""
+    with ProcessPool(request.param) as p:
+        yield p
+
+
+def _assert_identical(serial, proc, *, seed, method):
+    ctx = f"seed={seed} method={method}"
+    assert proc.distances == serial.distances, ctx
+    assert proc.exact == serial.exact, ctx
+    assert proc.num_searches == serial.num_searches, ctx
+    assert proc.details == serial.details, ctx
+    # The reassembled meter must replay the serial merge exactly.
+    assert proc.meter.work == serial.meter.work, ctx
+    assert proc.meter.depth == serial.meter.depth, ctx
+    assert proc.meter.steps == serial.meter.steps, ctx
+    assert proc.meter.step_work == serial.meter.step_work, ctx
+
+
+def _assert_same_paths(graph, serial, proc, pairs, *, seed, method):
+    for s, t in pairs:
+        try:
+            want = serial.path(s, t)
+        except PathError:
+            with pytest.raises(PathError):
+                proc.path(s, t)
+            continue
+        got = proc.path(s, t)
+        assert got == want, f"seed={seed} {method} path ({s}, {t})"
+        # Arc-validate in the stored orientation only: for a directed
+        # pair held under the flipped key, serial semantics return the
+        # canonical path reversed — equality above is the contract.
+        if s != t and (not graph.directed or (s, t) in serial.distances):
+            _check_path(graph, got, s, t, serial.distance(s, t))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("method", BATCH_METHODS)
+def test_process_backend_bitwise_identical(pool, seed, method):
+    graph, pairs = _random_geometric(seed)
+    # Self pairs and disconnected pairs stay in: both backends must
+    # agree on them too (0.0 and inf respectively).
+    serial = solve_batch(graph, pairs, method=method, certify=True)
+    proc = solve_batch(
+        graph, pairs, method=method, certify=True, backend="process", pool=pool
+    )
+    _assert_identical(serial, proc, seed=seed, method=method)
+
+    assert serial.certificates is not None and proc.certificates is not None
+    assert set(proc.certificates) == set(serial.certificates)
+    for key, want in serial.certificates.items():
+        assert proc.certificates[key].to_dict() == want.to_dict(), (
+            f"seed={seed} {method} certificate {key}"
+        )
+
+    if method in PATH_METHODS:
+        _assert_same_paths(graph, serial, proc, pairs, seed=seed, method=method)
+    else:
+        # Plain modes discard per-query state in both backends alike.
+        with pytest.raises(NotImplementedError):
+            serial.path(*pairs[0])
+        with pytest.raises(NotImplementedError):
+            proc.path(*pairs[0])
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_uncertified_runs_identical_too(pool, seed):
+    """certify=False is the hot path: same equality bar, no certificates."""
+    graph, pairs = _random_geometric(seed)
+    for method in BATCH_METHODS:
+        serial = solve_batch(graph, pairs, method=method)
+        proc = solve_batch(graph, pairs, method=method, backend="process", pool=pool)
+        _assert_identical(serial, proc, seed=seed, method=method)
+        assert serial.certificates is None and proc.certificates is None
+
+
+def test_ephemeral_pool_matches_shared(seed=4):
+    """backend='process' without a pool builds and tears one down."""
+    graph, pairs = _random_geometric(seed)
+    serial = solve_batch(graph, pairs, method="multi")
+    proc = solve_batch(graph, pairs, method="multi", backend="process", workers=2)
+    _assert_identical(serial, proc, seed=seed, method="multi")
