@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-slow test-pool chaos verify-chaos serve bench stats reproduce reproduce-tiny report examples clean
+.PHONY: install test test-slow test-pool test-service soak chaos verify-chaos serve bench stats reproduce reproduce-tiny report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -36,6 +36,18 @@ test-slow:
 test-pool:
 	$(PYTHON) -m pytest tests/parallel/test_pool_differential.py \
 		tests/parallel/test_pool_chaos.py tests/graphs/test_shm.py -q -m ''
+
+# Query-service process-pool suites: the differential invariant (service
+# answers bit-identical to serial replays of its own coalesced batches)
+# re-checked with execution on a persistent warm pool at 1 and 2 workers.
+test-service:
+	$(PYTHON) -m pytest tests/serve/test_service_differential.py -q -m ''
+
+# Deterministic soak harness: N seeded clients, a 2-worker pool,
+# injected worker SIGKILLs, and clock-driven deadline expiry.  Zero
+# silent wrong answers, zero stuck futures, zero shm leaks.
+soak:
+	$(PYTHON) -m pytest tests/serve/test_service_soak.py -q -m soak
 
 # Nightly benchmark pass: the seeded regression workload (gated against
 # the newest BENCH_*.json) plus the pytest-benchmark micro suites.

@@ -61,8 +61,11 @@ from .serve import (
     BreakerBoard,
     CircuitBreaker,
     PipelineResult,
+    QueryService,
     ServePipeline,
     ServeQuery,
+    ServiceFuture,
+    ServiceResult,
     serve_batch,
 )
 from .verify import (
@@ -72,7 +75,7 @@ from .verify import (
     build_certificate,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ppsp",
@@ -106,6 +109,9 @@ __all__ = [
     "ServePipeline",
     "PipelineResult",
     "ServeQuery",
+    "QueryService",
+    "ServiceFuture",
+    "ServiceResult",
     "CircuitBreaker",
     "BreakerBoard",
     "Certificate",

@@ -10,6 +10,10 @@ entry point):
   circuit breakers, priority-based load shedding, and ``--verify``
   (certificate-check every answer, repair refuted ones; ``--chaos-*``
   flags inject seeded bit-flip corruption to exercise it);
+* ``serve``    — the always-on streaming service: queries arrive one
+  per line (stdin or ``--pairs-file``), the micro-batcher coalesces
+  them over a persistent warm worker pool, and one JSON answer per
+  query is emitted in submission order;
 * ``verify``   — one certified query: emit its certificate and run the
   independent checker on it;
 * ``trace``    — a query's full per-step engine trace (table or JSON);
@@ -374,6 +378,88 @@ def _cmd_serve_batch(args) -> int:
     return 1 if "failed" in res.counts() else 0
 
 
+def _cmd_serve(args) -> int:
+    """The streaming query service: stdin/file lines -> JSONL answers.
+
+    Input lines are ``s t [priority]``; answers are emitted in
+    submission order as soon as their coalesced batch resolves, so a
+    trickle of queries still streams (bounded by ``--max-wait-ms``).
+    A run summary (stats + batch log) goes to stderr on shutdown.
+    """
+    from .serve import QueryService
+
+    graph = _load_graph(args.graph)
+    source = open(args.pairs_file) if args.pairs_file else sys.stdin
+    observer = None
+    if args.stats_out:
+        from .obs import Observer
+
+        observer = Observer()
+    futures = []
+    emitted = 0
+
+    def emit_ready(block: bool) -> None:
+        nonlocal emitted
+        while emitted < len(futures):
+            fut = futures[emitted]
+            if not block and not fut.done():
+                return
+            res = fut.result()
+            print(json.dumps({
+                "source": res.source,
+                "target": res.target,
+                "distance": res.distance,
+                "exact": res.exact,
+                "outcome": res.outcome,
+                "batch": res.batch_index,
+            }), flush=True)
+            emitted += 1
+
+    service = QueryService(
+        graph,
+        method=args.method,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        backend=args.backend,
+        workers=args.workers,
+        deadline_ms=args.deadline_ms,
+        max_queue=args.max_queue,
+        observer=observer,
+    )
+    try:
+        with service as svc:
+            svc.start()
+            for line in source:
+                parts = line.split()
+                if not parts:
+                    continue
+                if len(parts) not in (2, 3):
+                    raise SystemExit(
+                        f"bad query line {line.strip()!r}; expected 's t [priority]'"
+                    )
+                s, t = int(parts[0]), int(parts[1])
+                priority = int(parts[2]) if len(parts) == 3 else 0
+                futures.append(svc.submit(s, t, priority=priority))
+                emit_ready(block=False)
+        # close() flushed the tail; resolve and emit everything left.
+        emit_ready(block=True)
+        stats = service.stats()
+        print(json.dumps({
+            "stats": stats,
+            "batches": [
+                {"index": b.index, "reason": b.reason, "size": b.size}
+                for b in service.batches
+            ],
+        }, indent=2), file=sys.stderr)
+        if args.stats_out:
+            with open(args.stats_out, "w") as fh:
+                fh.write(observer.export_text())
+    finally:
+        if args.pairs_file:
+            source.close()
+    return 1 if any(f.result().outcome == "failed" for f in futures) else 0
+
+
 def _cmd_generate(args) -> int:
     if args.kind == "social":
         g = social_graph(args.n, seed=args.seed)
@@ -563,6 +649,38 @@ def build_parser() -> argparse.ArgumentParser:
                     help="total faults the chaos injector may fire")
     sv.add_argument("pairs", nargs="*", help="s1 t1 s2 t2 ...")
     sv.set_defaults(func=_cmd_serve_batch)
+
+    srv = sub.add_parser(
+        "serve",
+        help="streaming query service: micro-batched execution over a "
+             "persistent warm worker pool, one JSON answer per line",
+    )
+    srv.add_argument("--graph", required=True)
+    srv.add_argument("--method", default="multi",
+                     choices=("multi", "plain-bids", "plain-star-bids",
+                              "sssp-plain", "sssp-vc", "resilient"))
+    srv.add_argument("--max-batch", type=int, default=32,
+                     help="queries per coalesced batch (flush trigger)")
+    srv.add_argument("--max-wait-ms", type=float, default=5.0,
+                     help="longest a queued query waits before a partial "
+                          "batch flushes")
+    srv.add_argument("--backend", default="serial", choices=("serial", "process"),
+                     help="process: execute batches on a persistent worker "
+                          "pool (workers attach the shared graph once)")
+    srv.add_argument("--workers", type=int,
+                     help="pool size for --backend process (default: cpu count)")
+    srv.add_argument("--deadline-ms", type=float,
+                     help="per-query deadline (see 'serve-batch --deadline-ms')")
+    srv.add_argument("--max-queue", type=int,
+                     help="admission capacity per coalesced batch; excess "
+                          "sheds lowest-priority first")
+    srv.add_argument("--pairs-file",
+                     help="read 's t [priority]' lines from this file "
+                          "instead of stdin")
+    srv.add_argument("--stats-out", metavar="PATH",
+                     help="write a Prometheus text snapshot (incl. the "
+                          "repro_service_* families) here on shutdown")
+    srv.set_defaults(func=_cmd_serve)
 
     v = sub.add_parser(
         "verify",

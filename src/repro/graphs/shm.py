@@ -59,6 +59,9 @@ class SharedGraph:
 
     descriptor: dict
     shm: shared_memory.SharedMemory
+    #: True once :meth:`unlink` destroyed the segment — the invariant
+    #: pool/service teardown asserts (no handle may stay linked).
+    unlinked: bool = False
 
     @property
     def name(self) -> str:
@@ -78,6 +81,7 @@ class SharedGraph:
             self.shm.unlink()
         except FileNotFoundError:
             pass
+        self.unlinked = True
 
     def __enter__(self) -> "SharedGraph":
         return self

@@ -174,6 +174,27 @@ class Observer:
         self._pool_crashes = r.counter(
             "repro_pool_worker_crashes_total",
             "Pool workers that died mid-shard (SIGKILL/OOM)")
+        self._service_depth = r.gauge(
+            "repro_service_queue_depth",
+            "Distinct queries waiting in the micro-batcher's submission queue")
+        self._service_batches = r.counter(
+            "repro_service_batches_total",
+            "Coalesced batches flushed by trigger "
+            "(size / pressure / wait / drain / shutdown / manual)", ("reason",))
+        self._service_coalesce = r.histogram(
+            "repro_service_coalesce_size",
+            "Distinct queries per coalesced service batch",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128))
+        self._service_wait = r.histogram(
+            "repro_service_coalesce_wait_seconds",
+            "Longest submission-queue wait inside each coalesced batch",
+            buckets=TIME_BUCKETS)
+        self._service_dedup = r.counter(
+            "repro_service_dedup_total",
+            "Submissions coalesced into an already-queued identical query")
+        self._service_respawns = r.counter(
+            "repro_service_worker_respawns_total",
+            "Pool worker respawns observed by the query service")
 
     # ------------------------------------------------------------------
     # Spans
@@ -290,6 +311,27 @@ class Observer:
     def on_checkpoint(self, event: str) -> None:
         """Pipeline hook: a durable checkpoint was written or resumed."""
         self._serve_checkpoints.inc(event=event)
+
+    # ------------------------------------------------------------------
+    # Query-service hooks (micro-batcher)
+    # ------------------------------------------------------------------
+    def on_service_queue(self, depth: int) -> None:
+        """Service hook: the submission queue's current distinct depth."""
+        self._service_depth.set(depth)
+
+    def on_service_flush(self, reason: str, size: int, waited_s: float) -> None:
+        """Service hook: one coalesced batch left the queue for execution."""
+        self._service_batches.inc(reason=reason)
+        self._service_coalesce.observe(size)
+        self._service_wait.observe(waited_s)
+
+    def on_service_dedup(self) -> None:
+        """Service hook: a duplicate (s, t) submission coalesced."""
+        self._service_dedup.inc()
+
+    def on_service_respawn(self, count: int = 1) -> None:
+        """Service hook: the pool respawned crashed workers."""
+        self._service_respawns.inc(count)
 
     # ------------------------------------------------------------------
     # Verification hooks (certificates, quarantine, repair)

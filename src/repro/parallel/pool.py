@@ -37,6 +37,7 @@ import os
 import signal
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 
@@ -94,6 +95,16 @@ class ProcessPool:
     :meth:`close` (or the context-manager exit) shuts the workers down
     and unlinks every exported segment — nothing may outlive the pool.
 
+    The pool is built to stay **persistent** across batches: workers
+    attach each shared graph once and keep the mapping for their
+    lifetime, so the steady-state per-batch cost is shard pickling
+    only.  :meth:`open` spawns (and liveness-checks) the workers
+    eagerly, :meth:`ping` is the idle health check, and a worker death
+    is repaired transparently — the poisoned executor is discarded, the
+    next dispatch respawns fresh workers (counted in :attr:`respawns`),
+    and the failed batch surfaces as :class:`WorkerCrashError` so the
+    serve pipeline's breaker/retry path decides what to re-run.
+
     ``mp_context`` defaults to ``"fork"`` where available (workers
     inherit the parent's imports; startup is milliseconds); pass
     ``"spawn"`` on platforms without fork.
@@ -112,6 +123,9 @@ class ProcessPool:
         self._executor: ProcessPoolExecutor | None = None
         self._shared: dict[str, SharedGraph] = {}
         self._closed = False
+        self._spawns = 0
+        #: executor rebuilds after a worker crash (0 for a healthy pool).
+        self.respawns = 0
 
     # ------------------------------------------------------------------
     def share(self, graph) -> dict:
@@ -130,6 +144,8 @@ class ProcessPool:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers, mp_context=self._mp_context
             )
+            self._spawns += 1
+            self.respawns = self._spawns - 1
         return self._executor
 
     def _discard_executor(self) -> None:
@@ -137,6 +153,53 @@ class ProcessPool:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+
+    # ------------------------------------------------------------------
+    # Persistent-service lifetime
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def open(self) -> "ProcessPool":
+        """Eagerly spawn the workers and verify they answer (idempotent).
+
+        Without this, workers fork lazily on the first batch; a serving
+        process calls ``open()`` up front so the spin-up cost is paid
+        before traffic arrives, and a misconfigured pool fails at start
+        time rather than mid-request.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self._ensure_executor()
+        if not self.ping():
+            # One respawn already happened inside ping(); a second
+            # failed probe means workers cannot start at all here.
+            if not self.ping():
+                raise WorkerCrashError("pool workers died during open()")
+        return self
+
+    def ping(self, timeout: float = 60.0) -> bool:
+        """Idle health check: one no-op round trip per worker slot.
+
+        Returns ``True`` when every probe answered.  A dead worker
+        poisons the executor exactly as a mid-shard crash would; the
+        executor is discarded and rebuilt (transparent respawn, counted
+        in :attr:`respawns`) and ``False`` is returned so the caller
+        can observe the repair.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        executor = self._ensure_executor()
+        futures = [executor.submit(_pool_ping, i) for i in range(self.workers)]
+        try:
+            for future in futures:
+                future.result(timeout=timeout)
+        except (BrokenProcessPool, _FuturesTimeout, TimeoutError, OSError):
+            self._discard_executor()
+            self._ensure_executor()
+            return False
+        return True
 
     def run_shards(self, tasks: list[dict], *, observer=None) -> list[dict]:
         """Execute shard tasks on the workers; results in shard order.
@@ -173,16 +236,28 @@ class ProcessPool:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down workers and unlink every exported segment (idempotent)."""
+        """Shut down workers and unlink every exported segment (idempotent).
+
+        Segment unlinking is unconditional: even when the executor is
+        poisoned mid-batch and its shutdown raises, the ``finally``
+        block destroys every exported segment before the error
+        propagates — a serving host must never accumulate orphaned
+        ``/dev/shm`` segments because a worker died at an awkward
+        moment.
+        """
         if self._closed:
             return
         self._closed = True
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
-        for handle in self._shared.values():
-            handle.unlink()
-        self._shared.clear()
+        try:
+            if self._executor is not None:
+                try:
+                    self._executor.shutdown(wait=True, cancel_futures=True)
+                finally:
+                    self._executor = None
+        finally:
+            shared, self._shared = self._shared, {}
+            for handle in shared.values():
+                handle.unlink()
 
     def __enter__(self) -> "ProcessPool":
         return self
@@ -203,6 +278,11 @@ class ProcessPool:
 # cached for the worker's lifetime.
 # ----------------------------------------------------------------------
 _ATTACHED: dict[tuple[str, str], object] = {}
+
+
+def _pool_ping(i: int) -> int:
+    """Health-check no-op: proves the worker is alive and answering."""
+    return os.getpid()
 
 
 def _attached_graph(descriptor: dict):

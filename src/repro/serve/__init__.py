@@ -18,6 +18,12 @@ for the CLI entry point.
 >>> # kill -9 mid-run, then:
 >>> res = serve_batch(graph, pairs, method="multi", resume=True,
 ...                   checkpoint_path="job.ckpt.json", checkpoint_every=32)
+
+For a *stream* of queries rather than a pre-assembled batch, the
+:class:`~repro.serve.service.QueryService` micro-batcher coalesces
+individual submissions into right-sized batches over a persistent warm
+worker pool and resolves each one as a future — see ``repro serve`` and
+the service section of ``docs/robustness.md``.
 """
 
 from .admission import (
@@ -34,12 +40,24 @@ from .admission import (
 from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
 from .checkpoint import CheckpointCorrupt, CheckpointStore, batch_fingerprint
 from .pipeline import SERVE_METHODS, PipelineResult, ServePipeline, serve_batch
+from .service import (
+    FLUSH_REASONS,
+    QueryService,
+    ServiceClosed,
+    ServiceFuture,
+    ServiceResult,
+)
 
 __all__ = [
     "serve_batch",
     "ServePipeline",
     "PipelineResult",
     "SERVE_METHODS",
+    "QueryService",
+    "ServiceFuture",
+    "ServiceResult",
+    "ServiceClosed",
+    "FLUSH_REASONS",
     "ServeQuery",
     "AdmissionController",
     "CheckpointStore",

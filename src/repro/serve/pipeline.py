@@ -88,6 +88,13 @@ class PipelineResult:
     distances: dict[tuple[int, int], float]
     exact: dict[tuple[int, int], bool]
     outcomes: dict[tuple[int, int], str]
+    #: per-query :class:`~repro.verify.Certificate` (or ``None``),
+    #: populated when the pipeline runs with ``certify``/``verify``;
+    #: resumed-from-checkpoint queries carry no certificate.
+    certificates: dict = field(default_factory=dict)
+    #: per-query shortest vertex path (or ``None`` when the method
+    #: does not retain path state), populated under ``collect_paths``.
+    paths: dict = field(default_factory=dict)
     shed: list[tuple[int, int]] = field(default_factory=list)
     timeouts: list[tuple[int, int]] = field(default_factory=list)
     checkpoints_written: int = 0
@@ -191,6 +198,15 @@ class ServePipeline:
         Override the checker used by the verification stage (e.g. a
         different tolerance); a default one is built when ``verify``
         is set.
+    certify : bool
+        Request certificates from every solver and record them in
+        ``PipelineResult.certificates`` *without* the verification
+        stage — what the query service uses to hand certificates back
+        per future.  Implied by ``verify``.
+    collect_paths : bool
+        Record each executed query's shortest vertex path in
+        ``PipelineResult.paths`` (``None`` for methods that discard
+        path state, e.g. the plain BiDS modes, and for timeouts).
     """
 
     def __init__(
@@ -215,6 +231,8 @@ class ServePipeline:
         strategy_factory=None,
         verify: bool = False,
         checker=None,
+        certify: bool = False,
+        collect_paths: bool = False,
         backend: str = "serial",
         workers: int | None = None,
         pool=None,
@@ -246,6 +264,8 @@ class ServePipeline:
         self.pool = pool
         self._pool = None
         self.verify = bool(verify)
+        self.certify = bool(certify) or self.verify
+        self.collect_paths = bool(collect_paths)
         if self.verify and checker is None:
             from ..verify import CertificateChecker
 
@@ -353,10 +373,14 @@ class ServePipeline:
                         shard_results = self._process_shard(shard)
                 else:
                     shard_results = self._process_shard(shard)
-                for key, (dist, exact, status) in shard_results.items():
+                for key, (dist, exact, status, cert, path) in shard_results.items():
                     result.distances[key] = dist
                     result.exact[key] = exact
                     result.outcomes[key] = status
+                    if self.certify:
+                        result.certificates[key] = cert
+                    if self.collect_paths:
+                        result.paths[key] = path
                     if status == TIMEOUT:
                         result.timeouts.append(key)
                     if obs is not None:
@@ -420,6 +444,12 @@ class ServePipeline:
                 result.distances[q.key] = dist
                 result.exact[q.key] = exact
                 result.outcomes[q.key] = status
+                # Checkpoints persist answers only: resumed queries
+                # carry no certificate or path.
+                if self.certify:
+                    result.certificates[q.key] = None
+                if self.collect_paths:
+                    result.paths[q.key] = None
                 if status == TIMEOUT:
                     result.timeouts.append(q.key)
                 result.resumed_queries += 1
@@ -475,20 +505,20 @@ class ServePipeline:
         """Execute one shard and verify its answers (when ``verify``)."""
         raw = self._run_shard(shard)
         if not self.verify:
-            return {k: (d, e, st) for k, (d, e, st, _) in raw.items()}
+            return raw
         return {
-            k: self._verify_answer(k, d, e, st, cert)
-            for k, (d, e, st, cert) in raw.items()
+            k: self._verify_answer(k, d, e, st, cert, path)
+            for k, (d, e, st, cert, path) in raw.items()
         }
 
     def _run_shard(self, shard: list[ServeQuery]) -> dict:
-        """Execute one shard -> ``{key: (distance, exact, status, cert)}``."""
+        """Execute one shard -> ``{key: (dist, exact, status, cert, path)}``."""
         now = self._now()
-        results: dict[tuple[int, int], tuple[float, bool, str, object]] = {}
+        results: dict[tuple[int, int], tuple[float, bool, str, object, object]] = {}
         live: list[ServeQuery] = []
         for q in shard:
             if q.deadline is not None and q.deadline <= now:
-                results[q.key] = (float("inf"), False, TIMEOUT, None)
+                results[q.key] = (float("inf"), False, TIMEOUT, None, None)
                 if self.observer is not None:
                     self.observer.on_deadline_miss()
             else:
@@ -530,7 +560,7 @@ class ServePipeline:
         through the per-query resilient chain instead, whose rungs carry
         their own breakers.
         """
-        results: dict[tuple[int, int], tuple[float, bool, str, object]] = {}
+        results: dict[tuple[int, int], tuple[float, bool, str, object, object]] = {}
         board = self.breakers
         if board.allow(self.method):
             budget = self._shard_budget(live)
@@ -553,7 +583,7 @@ class ServePipeline:
                     strategy_factory=self.strategy_factory,
                     fault_injector=self.fault_injector,
                     observer=self.observer,
-                    certify=self.verify,
+                    certify=self.certify,
                     **backend_kwargs,
                 )
             except Exception:  # noqa: BLE001 — shard failure must be contained
@@ -567,13 +597,31 @@ class ServePipeline:
                 for q in live:
                     s, t = q.key
                     cert = certs.get((s, t)) or certs.get((t, s))
-                    results[q.key] = (res.distance(s, t), res.exact, status, cert)
+                    path = self._batch_path(res, s, t)
+                    results[q.key] = (res.distance(s, t), res.exact, status, cert, path)
                 return results
         for q in live:
             results[q.key] = self._run_query_chain(q)
         return results
 
-    def _run_query_chain(self, q: ServeQuery) -> tuple[float, bool, str, object]:
+    def _batch_path(self, res, s: int, t: int):
+        """One query's path from a batch result, ``None`` when unavailable.
+
+        Plain BiDS modes discard per-query search state (their serial
+        ``path()`` raises ``NotImplementedError``), and unreachable or
+        budget-truncated queries have no walkable tree — both simply
+        yield ``None`` rather than failing the shard.
+        """
+        if not self.collect_paths:
+            return None
+        from ..core.paths import PathError
+
+        try:
+            return res.path(s, t)
+        except (NotImplementedError, PathError, ValueError, KeyError, IndexError):
+            return None
+
+    def _run_query_chain(self, q: ServeQuery) -> tuple[float, bool, str, object, object]:
         """One query through the breaker-guarded resilient chain."""
         deadline_wall = None
         if q.deadline is not None:
@@ -602,27 +650,38 @@ class ServePipeline:
                 breakers=self.breakers,
                 fault_injector=self.fault_injector,
                 observer=self.observer,
-                certify=self.verify,
+                certify=self.certify,
             )
         except Exception:  # noqa: BLE001 — one query must not kill the batch
-            return (float("inf"), False, FAILED, None)
+            return (float("inf"), False, FAILED, None, None)
         cert = None
+        path = None
         if ans.answer is not None:
             self._meter.merge(ans.answer.run.meter)
             cert = ans.answer.certificate
+            if self.collect_paths and ans.reachable:
+                from ..core.paths import PathError
+
+                try:
+                    path = ans.answer.path()
+                except (NotImplementedError, PathError, ValueError,
+                        KeyError, IndexError, AttributeError):
+                    path = None
         return (
             float(ans.distance),
             bool(ans.exact),
             OK if ans.exact else INEXACT,
             cert,
+            path,
         )
 
     # ------------------------------------------------------------------
     # Verification
     # ------------------------------------------------------------------
     def _verify_answer(
-        self, key: tuple[int, int], dist: float, exact: bool, status: str, cert
-    ) -> tuple[float, bool, str]:
+        self, key: tuple[int, int], dist: float, exact: bool, status: str, cert,
+        path=None,
+    ) -> tuple[float, bool, str, object, object]:
         """Check one answer before it is recorded; repair it if refuted.
 
         Three regimes:
@@ -645,7 +704,7 @@ class ServePipeline:
         obs = self.observer
         counts = self._vcounts
         if status in (TIMEOUT, FAILED):
-            return dist, exact, status
+            return dist, exact, status, cert, path
         counts["checked"] += 1
         if exact and not math.isfinite(dist):
             # Unreachable claim: confirm with ground truth, never a cert.
@@ -654,7 +713,7 @@ class ServePipeline:
                 counts["confirmed"] += 1
                 if obs is not None:
                     obs.on_verify("confirmed")
-                return dist, exact, status
+                return dist, exact, status, cert, path
             counts["invalid"] += 1
             if obs is not None:
                 obs.on_verify("invalid")
@@ -664,7 +723,7 @@ class ServePipeline:
                 counts["unproven"] += 1
                 if obs is not None:
                     obs.on_verify("unproven")
-                return dist, exact, status
+                return dist, exact, status, cert, path
             row = self._authoritative_row(*key)
             truth = float(row[key[1]])
             tol = 1e-6 * max(1.0, abs(truth)) if math.isfinite(truth) else 0.0
@@ -672,7 +731,7 @@ class ServePipeline:
                 counts["confirmed"] += 1
                 if obs is not None:
                     obs.on_verify("confirmed")
-                return dist, exact, status
+                return dist, exact, status, cert, path
             counts["invalid"] += 1
             if obs is not None:
                 obs.on_verify("invalid")
@@ -683,7 +742,7 @@ class ServePipeline:
             counts["valid"] += 1
             if obs is not None:
                 obs.on_verify("valid", checks=report.checks)
-            return dist, exact, status
+            return dist, exact, status, cert, path
         counts["invalid"] += 1
         if obs is not None:
             obs.on_verify("invalid", checks=report.checks)
@@ -700,7 +759,9 @@ class ServePipeline:
 
         return dijkstra(self.graph, int(source), target=int(target))
 
-    def _repair(self, key: tuple[int, int], row=None) -> tuple[float, bool, str]:
+    def _repair(
+        self, key: tuple[int, int], row=None
+    ) -> tuple[float, bool, str, object, object]:
         """Exact recompute for a refuted answer, then re-check.
 
         The repaired answer is itself certified (witness path from the
@@ -724,11 +785,19 @@ class ServePipeline:
             self._vcounts["repaired"] += 1
             if obs is not None:
                 obs.on_repair("repaired")
-            return d, True, REPAIRED
+            path = None
+            if self.collect_paths and math.isfinite(d):
+                from ..core.paths import PathError, walk_path
+
+                try:
+                    path = walk_path(self.graph, row, s, t)
+                except (PathError, ValueError, KeyError, IndexError):
+                    path = None
+            return d, True, REPAIRED, cert, path
         self._vcounts["failed"] += 1
         if obs is not None:
             obs.on_repair("failed")
-        return float("inf"), False, FAILED
+        return float("inf"), False, FAILED, None, None
 
 
 def serve_batch(graph, queries, *, resume: bool = False, **kwargs) -> PipelineResult:

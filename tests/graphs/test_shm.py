@@ -151,3 +151,37 @@ class TestPoolLifetime:
         g = road_graph(8, 8, seed=9, name="shm-eph")
         solve_batch(g, [(0, 63)], method="multi", backend="process", workers=2)
         assert _shm_segments() == before
+
+    def test_segments_unlinked_when_executor_shutdown_raises(self):
+        """A poisoned executor whose shutdown explodes must not leak.
+
+        Regression test for the teardown ordering: ``close()`` has to
+        unlink every shared segment even when the executor teardown
+        itself raises (a worker died mid-batch and the pool is being
+        torn down around the wreckage)."""
+        from repro.parallel.pool import ProcessPool
+
+        class _PoisonedExecutor:
+            def shutdown(self, *a, **k):
+                raise OSError("simulated poisoned executor teardown")
+
+        before = _shm_segments()
+        g = road_graph(8, 8, seed=13, name="shm-poison")
+        pool = ProcessPool(2)
+        handle_holder = []
+        try:
+            pool.share(g)
+            handle_holder = list(pool._shared.values())
+            assert _shm_segments() - before  # the segment exists
+            pool._executor = _PoisonedExecutor()
+            with pytest.raises(OSError, match="poisoned"):
+                pool.close()
+        finally:
+            # Belt and braces: never leak the segment out of the test
+            # even if the assertion below is what fails.
+            for handle in handle_holder:
+                handle.unlink()
+        assert _shm_segments() == before
+        assert all(handle.unlinked for handle in handle_holder)
+        assert pool.closed
+        pool.close()  # idempotent after the failed teardown

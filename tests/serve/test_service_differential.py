@@ -1,0 +1,204 @@
+"""Property-based differential suite for the micro-batching service.
+
+The invariant under test: however queries *arrive* — bursts, trickles,
+adversarial same-pair floods — the answers the service hands back are
+**bit-identical** to serial ``solve_batch`` executed on the very batch
+compositions the coalescer formed, certificates and paths included, and
+value-identical to ground-truth Dijkstra regardless of composition.
+
+(The per-composition reference is the strongest one that exists:
+Multi-BiDS certificates embed sampled relaxation facts that depend on
+which queries share a batch, so two different coalescings of the same
+multiset are value-equal but not bit-equal — the service's contract is
+that coalescing itself adds *zero* divergence.)
+
+Arrival schedules are seeded and replayed deterministically on a
+:class:`SimClock` through the inline flush API; the process-backend
+cases (marked ``service``, run by the CI ``service-smoke`` job at 1 and
+2 workers) re-check the same invariant with execution on a persistent
+warm pool.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import solve_batch
+from repro.baselines.dijkstra import dijkstra
+from repro.core.batch import BATCH_METHODS
+from repro.graphs.connectivity import largest_component
+from repro.robustness import SimClock
+from repro.serve import QueryService
+
+MAX_WAIT_MS = 40.0
+MAX_BATCH = 6
+
+SCHEDULES = ("bursty", "trickle", "flood")
+
+
+def _pair_pool(graph, rng, size=24):
+    lcc = [int(v) for v in largest_component(graph)]
+    return [
+        (int(rng.choice(lcc)), int(rng.choice(lcc)))
+        for _ in range(size)
+    ]
+
+
+def _schedule(kind: str, rng, pairs):
+    """One seeded arrival schedule: a list of (dt_seconds, submissions)."""
+    events = []
+    if kind == "bursty":
+        for _ in range(4):
+            burst = [pairs[rng.integers(0, len(pairs))]
+                     for _ in range(int(rng.integers(5, 13)))]
+            events.append((float(rng.uniform(0.0, 0.01)), burst))
+    elif kind == "trickle":
+        for _ in range(10):
+            # Gaps straddle max-wait, so some flushes are time-driven
+            # partials and some queries coalesce with the next arrival.
+            dt = float(rng.uniform(0.005, 0.08))
+            events.append((dt, [pairs[rng.integers(0, len(pairs))]]))
+    elif kind == "flood":
+        hot = pairs[0]
+        for _ in range(6):
+            burst = [hot] * int(rng.integers(3, 8))
+            if rng.random() < 0.5:
+                burst.append(pairs[rng.integers(0, len(pairs))])
+            events.append((float(rng.uniform(0.0, 0.05)), burst))
+    else:  # pragma: no cover - guarded by parametrize
+        raise ValueError(kind)
+    return events
+
+
+def _drive(svc: QueryService, clock: SimClock, events):
+    """Replay one schedule through the inline flush API; all futures."""
+    futures = []
+    for dt, submissions in events:
+        clock.advance(dt)
+        svc.tick()
+        futures.extend(svc.submit_many(submissions))
+    clock.advance(10 * MAX_WAIT_MS / 1000.0)
+    svc.tick()
+    return futures
+
+
+def _cert_fingerprint(cert):
+    return None if cert is None else cert.to_json()
+
+
+def _check_differential(graph, svc, futures):
+    """The invariant: service output == serial replay of its batches."""
+    assert all(f.done() for f in futures), "stuck futures"
+    executed = {k for b in svc.batches for k in b.keys}
+    assert {f.key for f in futures} == executed
+
+    # A pair resubmitted in a later window executes again in a different
+    # composition, so the reference is per (batch, pair) — each future
+    # knows which coalesced batch answered it.
+    reference = {}
+    for record in svc.batches:
+        ref = solve_batch(graph, list(record.keys), method=svc.pipeline.method,
+                          certify=True)
+        certs = ref.certificates or {}
+        for s, t in record.keys:
+            try:
+                path = ref.path(s, t)
+            except Exception:
+                path = None
+            reference[(record.index, (s, t))] = (
+                ref.distance(s, t),
+                certs.get((s, t)) or certs.get((t, s)),
+                path,
+            )
+
+    truth_rows: dict[int, object] = {}
+    for fut in futures:
+        res = fut.result()
+        want_dist, want_cert, want_path = reference[(res.batch_index, fut.key)]
+        assert res.distance == want_dist, (
+            f"{fut.key}: service {res.distance!r} != serial {want_dist!r}"
+        )
+        assert res.outcome in ("ok", "inexact")
+        assert _cert_fingerprint(res.certificate) == _cert_fingerprint(want_cert)
+        assert res.path == want_path
+        # Composition-independent ground truth (value equality).
+        s, t = fut.key
+        if s not in truth_rows:
+            truth_rows[s] = dijkstra(graph, s)   # full row: reused per target
+        truth = float(truth_rows[s][t]) if math.isfinite(truth_rows[s][t]) else float("inf")
+        if math.isfinite(truth):
+            assert res.distance == pytest.approx(truth, rel=1e-9)
+        else:
+            assert math.isinf(res.distance)
+
+
+@pytest.mark.parametrize("schedule_kind", SCHEDULES)
+@pytest.mark.parametrize("method", BATCH_METHODS)
+@pytest.mark.parametrize("seed", (11, 29))
+def test_serial_service_matches_serial_batches(
+    serve_graph, method, schedule_kind, seed
+):
+    rng = np.random.default_rng(seed)
+    pairs = _pair_pool(serve_graph, rng)
+    clock = SimClock()
+    svc = QueryService(
+        serve_graph, method=method, max_batch=MAX_BATCH,
+        max_wait_ms=MAX_WAIT_MS, clock=clock,
+        certify=True, collect_paths=True,
+    )
+    try:
+        futures = _drive(svc, clock, _schedule(schedule_kind, rng, pairs))
+    finally:
+        svc.close()
+    assert futures, "schedule produced no submissions"
+    _check_differential(serve_graph, svc, futures)
+
+
+@pytest.mark.parametrize("schedule_kind", SCHEDULES)
+def test_flood_coalesces_to_single_executions(serve_graph, schedule_kind):
+    """Dedup property: executed batch keys are always distinct."""
+    rng = np.random.default_rng(3)
+    pairs = _pair_pool(serve_graph, rng)
+    clock = SimClock()
+    svc = QueryService(serve_graph, method="multi", max_batch=MAX_BATCH,
+                       max_wait_ms=MAX_WAIT_MS, clock=clock)
+    try:
+        futures = _drive(svc, clock, _schedule(schedule_kind, rng, pairs))
+    finally:
+        svc.close()
+    for record in svc.batches:
+        assert len(set(record.keys)) == len(record.keys)
+    executed = sum(b.size for b in svc.batches)
+    stats = svc.stats()
+    assert stats["submitted"] == len(futures)
+    assert stats["executed"] == executed
+    assert stats["submitted"] == executed + stats["deduped"]
+    if schedule_kind == "flood":
+        assert stats["deduped"] > 0
+
+
+@pytest.mark.service
+@pytest.mark.parametrize("workers", (1, 2))
+@pytest.mark.parametrize("method", BATCH_METHODS)
+def test_process_service_matches_serial_batches(serve_graph, method, workers):
+    """The same invariant with execution on a persistent warm pool."""
+    rng = np.random.default_rng(97 + workers)
+    pairs = _pair_pool(serve_graph, rng)
+    clock = SimClock()
+    svc = QueryService(
+        serve_graph, method=method, max_batch=MAX_BATCH,
+        max_wait_ms=MAX_WAIT_MS, clock=clock,
+        certify=True, collect_paths=True,
+        backend="process", workers=workers,
+    )
+    try:
+        svc.warm()
+        futures = _drive(svc, clock, _schedule("bursty", rng, pairs))
+        futures += _drive(svc, clock, _schedule("flood", rng, pairs))
+        assert svc.stats()["respawns"] == 0
+    finally:
+        svc.close()
+    _check_differential(serve_graph, svc, futures)

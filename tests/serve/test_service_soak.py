@@ -1,0 +1,188 @@
+"""Deterministic soak/load harness for the query service.
+
+Marked ``soak`` (excluded from tier-1; run via ``make soak``).  N seeded
+clients stream queries at a 2-worker persistent pool while a
+:class:`FaultInjector` SIGKILLs workers mid-shard and the shared
+:class:`SimClock` expires deadlines — the compound-failure regime a
+serving host actually lives in.  The harness asserts the three
+invariants that define "survived":
+
+* **zero silent wrong answers** — every answer served with an exact
+  outcome equals ground-truth Dijkstra; every inexact answer is a
+  sound upper bound; everything else is an *explicit* non-answer
+  (``shed``/``timeout``/``failed``), never a wrong distance;
+* **zero stuck futures** — every submission resolves by close();
+* **zero shm leaks** — ``/dev/shm`` is byte-for-byte back to its
+  pre-test population after the pool closes, worker kills included.
+"""
+
+from __future__ import annotations
+
+import glob
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines.dijkstra import dijkstra
+from repro.graphs import road_graph
+from repro.graphs.connectivity import largest_component
+from repro.robustness import FaultInjector, SimClock
+from repro.serve import OUTCOMES, QueryService
+
+pytestmark = pytest.mark.soak
+
+
+def _shm_segments() -> set[str]:
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - exotic host
+        pytest.skip("no /dev/shm on this platform")
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def _truth(graph, cache, s: int, t: int) -> float:
+    if s not in cache:
+        cache[s] = dijkstra(graph, s)
+    return float(cache[s][t])
+
+
+def _assert_no_silent_wrong_answers(graph, futures):
+    cache: dict[int, object] = {}
+    outcomes: dict[str, int] = {}
+    for fut in futures:
+        assert fut.done(), f"stuck future {fut.key}"
+        res = fut.result()
+        outcomes[res.outcome] = outcomes.get(res.outcome, 0) + 1
+        assert res.outcome in OUTCOMES
+        s, t = fut.key
+        if res.outcome in ("ok", "repaired"):
+            truth = _truth(graph, cache, s, t)
+            if math.isfinite(truth):
+                assert res.distance == pytest.approx(truth, rel=1e-9), (
+                    f"silent wrong answer for {fut.key}: "
+                    f"served {res.distance}, truth {truth}"
+                )
+            else:
+                assert math.isinf(res.distance)
+        elif res.outcome == "inexact":
+            truth = _truth(graph, cache, s, t)
+            assert res.distance >= truth - 1e-9 * max(1.0, abs(truth)), (
+                f"inexact answer below truth for {fut.key}"
+            )
+        elif res.outcome == "timeout":
+            assert math.isinf(res.distance)
+    return outcomes
+
+
+def _client_schedules(graph, *, clients: int, queries: int, seed: int):
+    """One seeded arrival schedule per client: (dt, s, t, deadline_dt)."""
+    lcc = [int(v) for v in largest_component(graph)]
+    schedules = []
+    for c in range(clients):
+        rng = np.random.default_rng(seed + 101 * c)
+        events = []
+        for _ in range(queries):
+            s = int(rng.choice(lcc))
+            t = int(rng.choice(lcc))
+            dt = float(rng.uniform(0.0, 0.02))
+            # A fifth of the traffic carries a deadline tight enough
+            # that clock jitter expires some of it while queued.
+            deadline_dt = float(rng.uniform(0.01, 0.06)) if rng.random() < 0.2 else None
+            events.append((dt, s, t, deadline_dt))
+        schedules.append(events)
+    return schedules
+
+
+def _run_soak(graph, svc, clock, schedules):
+    """Interleave the clients round-robin on the shared clock."""
+    futures = []
+    cursors = [0] * len(schedules)
+    remaining = sum(len(s) for s in schedules)
+    while remaining:
+        for ci, events in enumerate(schedules):
+            if cursors[ci] >= len(events):
+                continue
+            dt, s, t, deadline_dt = events[cursors[ci]]
+            cursors[ci] += 1
+            remaining -= 1
+            clock.advance(dt)
+            svc.tick()
+            deadline = None if deadline_dt is None else clock() + deadline_dt
+            futures.append(svc.submit(s, t, deadline=deadline))
+    clock.advance(1.0)
+    svc.tick()
+    return futures
+
+
+def test_soak_multi_client_with_worker_kills_and_deadlines():
+    before = _shm_segments()
+    graph = road_graph(10, 10, seed=17, name="soak-road")
+    clock = SimClock()
+    # Two mid-shard SIGKILLs, spread across the run: each poisons the
+    # executor, fails that batch over to the per-query chain, and the
+    # next dispatch respawns workers transparently.
+    injector = FaultInjector(seed=5, kill_worker_at=0, max_fires=2)
+    svc = QueryService(
+        graph, method="multi", max_batch=8, max_wait_ms=30.0,
+        backend="process", workers=2, clock=clock,
+        fault_injector=injector,
+        breaker_threshold=3, breaker_cooldown=5.0,
+    )
+    try:
+        svc.warm()
+        schedules = _client_schedules(graph, clients=6, queries=25, seed=23)
+        futures = _run_soak(graph, svc, clock, schedules)
+    finally:
+        svc.close()
+
+    assert len(futures) == 6 * 25
+    outcomes = _assert_no_silent_wrong_answers(graph, futures)
+    stats = svc.stats()
+    assert stats["pending"] == 0
+    assert stats["submitted"] == len(futures)
+    assert outcomes.get("ok", 0) > 0
+    # The injected kills actually fired and the pool repaired itself.
+    assert len(injector.fired) == 2
+    assert stats["respawns"] >= 1
+    assert _shm_segments() == before, "leaked /dev/shm segments"
+
+
+def test_mini_soak_one_worker_kill():
+    """The CI service-smoke variant: seconds, one injected kill."""
+    before = _shm_segments()
+    graph = road_graph(8, 8, seed=17, name="soak-mini")
+    clock = SimClock()
+    injector = FaultInjector(seed=9, kill_worker_at=0, max_fires=1)
+    svc = QueryService(
+        graph, method="multi", max_batch=6, max_wait_ms=25.0,
+        backend="process", workers=2, clock=clock,
+        fault_injector=injector,
+    )
+    try:
+        svc.warm()
+        schedules = _client_schedules(graph, clients=3, queries=10, seed=41)
+        futures = _run_soak(graph, svc, clock, schedules)
+    finally:
+        svc.close()
+    assert len(futures) == 30
+    _assert_no_silent_wrong_answers(graph, futures)
+    assert len(injector.fired) == 1
+    assert svc.stats()["pending"] == 0
+    assert _shm_segments() == before
+
+
+def test_soak_serial_backend_control():
+    """Same harness, serial backend: isolates service-layer bugs from
+    pool-layer ones when the process variants fail."""
+    graph = road_graph(8, 8, seed=17, name="soak-serial")
+    clock = SimClock()
+    svc = QueryService(graph, method="multi", max_batch=8, max_wait_ms=30.0,
+                       clock=clock)
+    try:
+        schedules = _client_schedules(graph, clients=4, queries=15, seed=31)
+        futures = _run_soak(graph, svc, clock, schedules)
+    finally:
+        svc.close()
+    assert len(futures) == 60
+    _assert_no_silent_wrong_answers(graph, futures)
+    assert svc.stats()["pending"] == 0
