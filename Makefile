@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-slow test-pool test-service soak chaos verify-chaos serve bench stats reproduce reproduce-tiny report examples clean
+.PHONY: install test test-slow test-pool test-service test-hedge soak chaos verify-chaos serve bench stats reproduce reproduce-tiny report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -42,6 +42,13 @@ test-pool:
 # re-checked with execution on a persistent warm pool at 1 and 2 workers.
 test-service:
 	$(PYTHON) -m pytest tests/serve/test_service_differential.py -q -m ''
+
+# Straggler chaos: a pool worker stalls mid-shard (never killed) across
+# every batch method x 1/2/4 workers — hedged runs beat the stall with
+# bit-identical answers, deadline-only runs time out and recover via
+# the breaker/resilient chain (docs/robustness.md).
+test-hedge:
+	$(PYTHON) -m pytest tests/parallel/test_pool_stall_chaos.py -q -m hedge
 
 # Deterministic soak harness: N seeded clients, a 2-worker pool,
 # injected worker SIGKILLs, and clock-driven deadline expiry.  Zero

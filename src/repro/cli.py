@@ -310,6 +310,22 @@ def _serve_chaos_injector(args):
     )
 
 
+def _serve_hedging_kwargs(args):
+    """shard_deadline / hedge / retry_budget kwargs from the CLI flags."""
+    kwargs = {}
+    if args.shard_deadline is not None:
+        kwargs["shard_deadline"] = args.shard_deadline
+    if args.hedge:
+        from .serve import HedgePolicy
+
+        kwargs["hedge"] = HedgePolicy(factor=args.hedge_factor)
+    if args.retry_budget is not None:
+        from .serve import RetryBudget
+
+        kwargs["retry_budget"] = RetryBudget(capacity=args.retry_budget)
+    return kwargs
+
+
 def _cmd_serve_batch(args) -> int:
     """The fault-tolerant batch pipeline (checkpoints, deadlines, breakers)."""
     from .serve import ServePipeline
@@ -350,6 +366,7 @@ def _cmd_serve_batch(args) -> int:
         fault_injector=_serve_chaos_injector(args),
         backend=args.backend,
         workers=args.workers,
+        **_serve_hedging_kwargs(args),
     )
     res = pipeline.run(queries, resume=args.resume)
     payload = {
@@ -425,6 +442,12 @@ def _cmd_serve(args) -> int:
         deadline_ms=args.deadline_ms,
         max_queue=args.max_queue,
         observer=observer,
+        overload=False if args.no_overload else None,
+        codel_target_ms=args.codel_target_ms,
+        codel_interval_ms=args.codel_interval_ms,
+        shed_multiple=args.shed_multiple,
+        degrade_budget_ms=args.degrade_budget_ms,
+        **_serve_hedging_kwargs(args),
     )
     try:
         with service as svc:
@@ -637,6 +660,21 @@ def build_parser() -> argparse.ArgumentParser:
                     help="certificate-check every answer before it is "
                          "returned; refuted answers are repaired by an "
                          "exact recompute (outcome 'repaired')")
+    sv.add_argument("--shard-deadline", type=float, metavar="SECONDS",
+                    help="per-shard wall deadline (--backend process): a "
+                         "shard past it times out instead of hanging, and "
+                         "the suspect worker pool is quarantined and "
+                         "respawned")
+    sv.add_argument("--hedge", action="store_true",
+                    help="hedged re-execution (--backend process): launch a "
+                         "backup of a straggling shard once it exceeds "
+                         "--hedge-factor x the median shard latency; first "
+                         "result wins, answers stay bit-identical")
+    sv.add_argument("--hedge-factor", type=float, default=3.0,
+                    help="hedge a shard after FACTOR x median shard latency")
+    sv.add_argument("--retry-budget", type=float, metavar="TOKENS",
+                    help="token-bucket capacity shared by hedges and "
+                         "resilient-chain retries (default: unbounded)")
     sv.add_argument("--chaos-flip-dist", type=int, metavar="N",
                     help="inject N seeded bit-flips into tentative "
                          "distances per fault firing (chaos testing)")
@@ -674,6 +712,35 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-queue", type=int,
                      help="admission capacity per coalesced batch; excess "
                           "sheds lowest-priority first")
+    srv.add_argument("--shard-deadline", type=float, metavar="SECONDS",
+                     help="per-shard wall deadline for pool batches "
+                          "(see 'serve-batch --shard-deadline')")
+    srv.add_argument("--hedge", action="store_true",
+                     help="hedged re-execution of straggling shards "
+                          "(see 'serve-batch --hedge')")
+    srv.add_argument("--hedge-factor", type=float, default=3.0,
+                     help="hedge a shard after FACTOR x median shard latency")
+    srv.add_argument("--retry-budget", type=float, metavar="TOKENS",
+                     help="token-bucket capacity shared by hedges and "
+                          "resilient-chain retries (default: unbounded)")
+    srv.add_argument("--no-overload", action="store_true",
+                     help="disable adaptive overload control (CoDel queue-"
+                          "delay shedding + AIMD pressure); static "
+                          "pressure only")
+    srv.add_argument("--codel-target-ms", type=float, default=100.0,
+                     help="queue-sojourn target; sojourn persistently above "
+                          "it for a full interval means overloaded")
+    srv.add_argument("--codel-interval-ms", type=float, default=1000.0,
+                     help="how long sojourn must stay above target before "
+                          "the service degrades")
+    srv.add_argument("--shed-multiple", type=float, default=8.0,
+                     help="shed new queries at the door once the oldest "
+                          "queued query has waited MULTIPLE x target")
+    srv.add_argument("--degrade-budget-ms", type=float,
+                     help="under persistent overload, degrade flushed "
+                          "queries to budgeted (exact=false) answers with "
+                          "this wall budget instead of queueing further "
+                          "(unset: ladder is exact -> shed)")
     srv.add_argument("--pairs-file",
                      help="read 's t [priority]' lines from this file "
                           "instead of stdin")

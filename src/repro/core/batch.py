@@ -167,6 +167,9 @@ def solve_batch(
     backend: str = "serial",
     workers: int | None = None,
     pool=None,
+    shard_deadline: float | None = None,
+    hedge=None,
+    retry_budget=None,
     **engine_kwargs,
 ) -> BatchResult:
     """Answer a batch of PPSP queries.
@@ -216,6 +219,14 @@ def solve_batch(
     to ``backend="serial"``; features that are inherently single-process
     (``budget``, ``arena``, ``strategy_factory``, ``max_sources``) are
     rejected with a ``ValueError``.
+
+    ``shard_deadline`` (per-shard wall seconds), ``hedge`` (a
+    :class:`~repro.serve.hedging.HedgePolicy` or ``True``), and
+    ``retry_budget`` (a :class:`~repro.serve.overload.RetryBudget`)
+    arm the process backend's straggler defenses — shard timeouts,
+    hedged re-execution, budget-gated backups (see
+    :mod:`repro.serve.hedging`).  Because shards are deterministic,
+    hedged answers stay bit-identical to serial.  Process backend only.
     """
     if method not in BATCH_METHODS:
         raise ValueError(f"unknown batch method {method!r}; options: {BATCH_METHODS}")
@@ -252,10 +263,17 @@ def solve_batch(
             certify=certify,
             workers=workers,
             pool=pool,
+            shard_deadline=shard_deadline,
+            hedge=hedge,
+            retry_budget=retry_budget,
             **engine_kwargs,
         )
     if workers is not None or pool is not None:
         raise ValueError("workers/pool apply to backend='process' only")
+    if shard_deadline is not None or hedge is not None or retry_budget is not None:
+        raise ValueError(
+            "shard_deadline/hedge/retry_budget apply to backend='process' only"
+        )
     if strategy_factory is None:
         strategy_factory = (lambda: strategy) if strategy is not None else lambda: None
     if max_sources is not None and method != "multi":

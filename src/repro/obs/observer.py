@@ -195,6 +195,45 @@ class Observer:
         self._service_respawns = r.counter(
             "repro_service_worker_respawns_total",
             "Pool worker respawns observed by the query service")
+        self._pool_ping_failures = r.counter(
+            "repro_pool_ping_failures_total",
+            "Pool health-check probes that failed, by exception class",
+            ("error",))
+        self._pool_shard_timeouts = r.counter(
+            "repro_pool_shard_timeouts_total",
+            "Shards that produced no result within their deadline")
+        self._pool_suspects = r.counter(
+            "repro_pool_suspect_workers_total",
+            "Worker-set quarantines (deadline timeout / stuck straggler)",
+            ("reason",))
+        self._hedge_launched = r.counter(
+            "repro_hedge_launched_total",
+            "Backup shard executions launched for stragglers")
+        self._hedge_races = r.counter(
+            "repro_hedge_races_total",
+            "Resolved hedge races by winning lane (primary / hedge)",
+            ("winner",))
+        self._hedge_denied = r.counter(
+            "repro_hedge_denied_total",
+            "Hedges skipped because the retry budget was dry")
+        self._hedge_delay = r.histogram(
+            "repro_hedge_delay_seconds",
+            "Straggler age when its hedge launched",
+            buckets=TIME_BUCKETS)
+        self._overload_decisions = r.counter(
+            "repro_overload_decisions_total",
+            "Degradation-ladder decisions (exact / inexact / shed)",
+            ("mode",))
+        self._overload_shed = r.counter(
+            "repro_overload_shed_total",
+            "Submissions shed at the door by queue-delay overload control")
+        self._overload_aimd = r.gauge(
+            "repro_overload_aimd_limit",
+            "Current AIMD in-flight batch concurrency limit")
+        self._retry_denials = r.counter(
+            "repro_overload_retry_denials_total",
+            "Retry-budget denials by kind (hedge / retry)",
+            ("kind",))
 
     # ------------------------------------------------------------------
     # Spans
@@ -296,6 +335,53 @@ class Observer:
     def on_pool_crash(self) -> None:
         """Pool hook: a worker process died mid-shard."""
         self._pool_crashes.inc()
+
+    def on_pool_ping_failure(self, error: str) -> None:
+        """Pool hook: one health probe failed (``error`` = exception class)."""
+        self._pool_ping_failures.inc(error=error)
+
+    def on_shard_timeout(self) -> None:
+        """Pool hook: a shard hit its deadline with no result."""
+        self._pool_shard_timeouts.inc()
+
+    def on_worker_suspect(self, reason: str) -> None:
+        """Pool hook: the worker set was quarantined (killed + respawn)."""
+        self._pool_suspects.inc(reason=reason)
+
+    # ------------------------------------------------------------------
+    # Hedging hooks (straggler defense)
+    # ------------------------------------------------------------------
+    def on_hedge_launch(self, delay_s: float) -> None:
+        """Hedge hook: a backup shard launched after ``delay_s`` waiting."""
+        self._hedge_launched.inc()
+        self._hedge_delay.observe(delay_s)
+
+    def on_hedge_result(self, winner: str) -> None:
+        """Hedge hook: a race resolved (``winner`` = primary / hedge)."""
+        self._hedge_races.inc(winner=winner)
+
+    def on_hedge_denied(self) -> None:
+        """Hedge hook: the retry budget refused a backup launch."""
+        self._hedge_denied.inc()
+
+    # ------------------------------------------------------------------
+    # Overload-control hooks
+    # ------------------------------------------------------------------
+    def on_overload_decision(self, mode: str) -> None:
+        """Overload hook: one ladder decision (exact / inexact / shed)."""
+        self._overload_decisions.inc(mode=mode)
+
+    def on_overload_shed(self) -> None:
+        """Overload hook: a submission was shed at the door."""
+        self._overload_shed.inc()
+
+    def on_aimd_limit(self, limit: float) -> None:
+        """Overload hook: the AIMD batch-concurrency limit moved."""
+        self._overload_aimd.set(limit)
+
+    def on_retry_denied(self, kind: str) -> None:
+        """Overload hook: the retry budget denied a token (hedge / retry)."""
+        self._retry_denials.inc(kind=kind)
 
     # ------------------------------------------------------------------
     # Serve-pipeline hooks

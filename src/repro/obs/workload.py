@@ -6,10 +6,13 @@ the result/heuristic caches see both misses and hits), a Multi-BiDS
 batch runs over the same pairs, one resilient query walks the fallback
 chain, a chaos-seeded serve pipeline trips a circuit breaker open,
 routes through the fallback rungs, and recovers it via a half-open
-probe (all on a simulated clock), and a verified serve run detects
+probe (all on a simulated clock), a verified serve run detects
 seeded bit-flip corruption and repairs it (exercising the certificate
-checker, repair, and quarantine counters).  All randomness flows from
-one seed,
+checker, repair, and quarantine counters), a simulated-transport
+straggler story exercises hedged re-execution (a hedge win, a primary
+win, a shard deadline, a budget denial), and the overload controller
+walks its full ladder (exact -> inexact -> shed, plus AIMD moves).
+All randomness flows from one seed,
 so the resulting metrics — everything except wall-clock histograms —
 are reproducible byte for byte, which is what lets the text exposition
 be pinned as a golden fixture (``tests/obs/test_stats_golden.py``).
@@ -58,6 +61,8 @@ def stats_workload(
     resilient: bool = True,
     serve: bool = True,
     verify: bool = True,
+    hedge: bool = True,
+    overload: bool = True,
     observer: Observer | None = None,
 ) -> Observer:
     """Run the observed workload and return the (filled) observer.
@@ -160,4 +165,98 @@ def stats_workload(
         with obs.span("serve-verify") as span:
             res = pipe.run(pairs)
             span.exact = all(res.exact.values()) if res.exact else True
+
+    if hedge:
+        # The straggler story, on the simulated shard transport so no
+        # real process pool (and no wall-clock noise) is involved: one
+        # healthy shard, one mildly slow shard whose primary outruns
+        # its hedge, and one wedged shard whose hedge wins the race.
+        # Then a lone shard blows its deadline, and a dry retry budget
+        # denies a hedge outright.  The pool-level reactions to the
+        # deadline signal (worker quarantine, a failed ping on the
+        # wedged executor) are mirrored directly on the observer so
+        # those families stay seed-deterministic without spawning
+        # processes.
+        from ..robustness.clock import SimClock
+        from ..serve.hedging import (
+            HedgePolicy,
+            LatencyEstimator,
+            ShardTimeout,
+            SimShardTransport,
+            supervise_shards,
+        )
+        from ..serve.overload import RetryBudget
+
+        sim = SimClock()
+
+        def latency(task, lane):
+            if lane == "hedge":
+                return 1.0 if task["shard"] == 1 else 0.02
+            return {0: 0.05, 1: 0.4, 2: 9.0}[task["shard"]]
+
+        supervise_shards(
+            SimShardTransport(sim, latency),
+            [{"shard": i} for i in range(3)],
+            clock=sim,
+            deadline=30.0,
+            policy=HedgePolicy(),
+            estimator=LatencyEstimator(seed=seed),
+            observer=obs,
+        )
+
+        sim2 = SimClock()
+        try:
+            supervise_shards(
+                SimShardTransport(sim2, lambda task, lane: 60.0),
+                [{"shard": 0}],
+                clock=sim2,
+                deadline=0.5,
+                observer=obs,
+            )
+        except ShardTimeout:
+            obs.on_worker_suspect("deadline")
+            obs.on_pool_ping_failure("OSError")
+
+        sim3 = SimClock()
+        supervise_shards(
+            SimShardTransport(
+                sim3, lambda task, lane: 0.6 if lane == "primary" else 0.02
+            ),
+            [{"shard": 0}],
+            clock=sim3,
+            policy=HedgePolicy(),
+            estimator=LatencyEstimator(seed=seed),
+            retry_budget=RetryBudget(
+                capacity=0.0, refill_per_s=0.0, clock=sim3, observer=obs
+            ),
+            observer=obs,
+        )
+
+    if overload:
+        # The admission ladder, walked deterministically: a healthy
+        # flush stays exact, sojourn persistently above target for a
+        # full interval degrades to inexact, a stuck queue sheds at the
+        # door, and batch outcomes move the AIMD limit down (timeout)
+        # and back up (healthy).
+        from ..robustness.clock import SimClock
+        from ..serve.overload import AIMDLimiter, OverloadController
+
+        simo = SimClock()
+        ctl = OverloadController(
+            clock=simo,
+            target_ms=100.0,
+            interval_ms=1000.0,
+            shed_multiple=8.0,
+            degrade_budget_ms=250.0,
+            aimd=AIMDLimiter(initial=4.0),
+            observer=obs,
+        )
+        ctl.flush_mode(0.02)  # healthy: exact
+        ctl.on_batch_done({"ok": 3})
+        ctl.flush_mode(0.5)  # above target, interval not yet elapsed
+        simo.advance(1.5)
+        ctl.flush_mode(0.5)  # persistent overload: inexact
+        ctl.on_batch_done({"timeout": 1, "ok": 2})  # AIMD halves
+        ctl.should_shed(oldest_sojourn_s=1.2)  # door shed
+        ctl.on_batch_done({"ok": 3})  # recovery nudge
     return obs

@@ -33,11 +33,13 @@ up front rather than silently diverging from serial semantics.
 
 from __future__ import annotations
 
+import logging
 import os
 import signal
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures import wait as _futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 
@@ -58,6 +60,8 @@ from .cost_model import (
 
 __all__ = ["ProcessPool", "WorkerCrashError", "solve_batch_process"]
 
+logger = logging.getLogger("repro.pool")
+
 #: engine kwargs that are safe to ship to workers: pure per-run knobs
 #: with no cross-run or parent-side state.
 _SHIPPABLE_ENGINE_KWARGS = frozenset(
@@ -76,6 +80,17 @@ _ENGINE_FAULT_ATTRS = (
     "stall_at",
     "flip_dist_at",
 )
+
+
+def _normalize_hedge(hedge):
+    """``True`` -> default policy, ``False`` -> off, else pass through."""
+    if hedge is None or hedge is False:
+        return None
+    if hedge is True:
+        from ..serve.hedging import HedgePolicy
+
+        return HedgePolicy()
+    return hedge
 
 
 class WorkerCrashError(RuntimeError):
@@ -108,9 +123,34 @@ class ProcessPool:
     ``mp_context`` defaults to ``"fork"`` where available (workers
     inherit the parent's imports; startup is milliseconds); pass
     ``"spawn"`` on platforms without fork.
+
+    Straggler defense (see :mod:`repro.serve.hedging`): with
+    ``shard_deadline`` and/or a :class:`~repro.serve.hedging.
+    HedgePolicy` configured — at construction, or per call on
+    :meth:`run_shards` — shards run under a supervisor that times out
+    stuck shards (:class:`~repro.serve.hedging.ShardTimeout`) and
+    launches first-result-wins backups of stragglers on a small
+    separate *hedge lane* executor, so a backup can proceed even when
+    every primary worker slot is wedged.  A shard timeout, or a
+    straggling primary still stuck when the batch ends, quarantines
+    the primary worker set: processes are killed and the next dispatch
+    respawns fresh ones (counted in :attr:`quarantines` /
+    :attr:`respawns`).
     """
 
-    def __init__(self, workers: int | None = None, *, mp_context=None) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        mp_context=None,
+        observer=None,
+        shard_deadline: float | None = None,
+        hedge=None,
+        retry_budget=None,
+        clock=None,
+        hedge_workers: int | None = None,
+        hedge_seed: int | None = 0,
+    ) -> None:
         self.workers = max(1, int(workers) if workers is not None else os.cpu_count() or 1)
         if mp_context is None:
             try:
@@ -121,11 +161,24 @@ class ProcessPool:
             mp_context = get_context(mp_context)
         self._mp_context = mp_context
         self._executor: ProcessPoolExecutor | None = None
+        self._hedge_executor: ProcessPoolExecutor | None = None
         self._shared: dict[str, SharedGraph] = {}
         self._closed = False
         self._spawns = 0
         #: executor rebuilds after a worker crash (0 for a healthy pool).
         self.respawns = 0
+        #: suspect-worker quarantines (deadline timeouts / stuck stragglers).
+        self.quarantines = 0
+        self.observer = observer
+        self.shard_deadline = None if shard_deadline is None else float(shard_deadline)
+        self.hedge = _normalize_hedge(hedge)
+        self.retry_budget = retry_budget
+        self._clock = clock
+        self.hedge_workers = max(
+            1, int(hedge_workers) if hedge_workers is not None else min(2, self.workers)
+        )
+        self._hedge_seed = hedge_seed
+        self._estimator = None  # lazy LatencyEstimator (hedging import)
 
     # ------------------------------------------------------------------
     def share(self, graph) -> dict:
@@ -153,6 +206,47 @@ class ProcessPool:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+
+    def _ensure_hedge_executor(self) -> ProcessPoolExecutor:
+        """The hedge lane: a small separate executor for backup shards.
+
+        Separate on purpose — when every primary slot is wedged behind
+        a stuck worker, a hedge submitted to the same executor would
+        queue behind the very straggler it is meant to beat.
+        """
+        if self._hedge_executor is None:
+            self._hedge_executor = ProcessPoolExecutor(
+                max_workers=self.hedge_workers, mp_context=self._mp_context
+            )
+        return self._hedge_executor
+
+    def _discard_hedge_executor(self) -> None:
+        if self._hedge_executor is not None:
+            self._hedge_executor.shutdown(wait=False, cancel_futures=True)
+            self._hedge_executor = None
+
+    def _quarantine(self, reason: str, *, observer=None) -> None:
+        """Kill the (suspect) primary worker set; next dispatch respawns.
+
+        ``shutdown(wait=False)`` alone would leave a wedged worker
+        sleeping in its slot forever, so the processes are SIGKILLed
+        explicitly — the same repair a human operator would apply to a
+        hung worker, made automatic and counted.
+        """
+        executor = self._executor
+        if executor is not None:
+            procs = list(getattr(executor, "_processes", {}).values())
+            executor.shutdown(wait=False, cancel_futures=True)
+            for proc in procs:
+                try:
+                    proc.kill()
+                except Exception:  # pragma: no cover - already dead
+                    pass
+            self._executor = None
+        self.quarantines += 1
+        logger.warning("quarantined pool workers (reason=%s); respawning on next dispatch", reason)
+        if observer is not None:
+            observer.on_worker_suspect(reason)
 
     # ------------------------------------------------------------------
     # Persistent-service lifetime
@@ -195,13 +289,32 @@ class ProcessPool:
         try:
             for future in futures:
                 future.result(timeout=timeout)
-        except (BrokenProcessPool, _FuturesTimeout, TimeoutError, OSError):
+        except (BrokenProcessPool, _FuturesTimeout, TimeoutError, OSError) as exc:
+            # Never swallow the failure class into a bare False: the
+            # *reason* a probe failed (worker crash vs timeout vs a
+            # pipe-level OSError) is the first thing an operator needs,
+            # so it is logged and counted per exception class.
+            reason = type(exc).__name__
+            logger.warning(
+                "pool ping failed (%s: %s); discarding executor and respawning workers",
+                reason, exc,
+            )
+            if self.observer is not None:
+                self.observer.on_pool_ping_failure(reason)
             self._discard_executor()
             self._ensure_executor()
             return False
         return True
 
-    def run_shards(self, tasks: list[dict], *, observer=None) -> list[dict]:
+    def run_shards(
+        self,
+        tasks: list[dict],
+        *,
+        observer=None,
+        deadline: float | None = None,
+        hedge=None,
+        retry_budget=None,
+    ) -> list[dict]:
         """Execute shard tasks on the workers; results in shard order.
 
         A worker death poisons the executor (every pending shard with
@@ -209,11 +322,30 @@ class ProcessPool:
         raised — the caller retries the whole batch or fails the shard
         upward.  Any ordinary exception from a worker propagates as-is,
         exactly as the serial backend would raise it.
+
+        With ``deadline`` (per-shard wall seconds) and/or ``hedge`` (a
+        :class:`~repro.serve.hedging.HedgePolicy`, or ``True`` for the
+        default) — here or as pool-construction defaults — shards run
+        under :func:`~repro.serve.hedging.supervise_shards`: a shard
+        that produces nothing within its deadline raises
+        :class:`~repro.serve.hedging.ShardTimeout` (after quarantining
+        the suspect workers) instead of blocking forever, and
+        stragglers are hedged on the backup lane, first result winning
+        bit-identically.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
         if not tasks:
             return []
+        observer = observer if observer is not None else self.observer
+        deadline = deadline if deadline is not None else self.shard_deadline
+        policy = _normalize_hedge(hedge) if hedge is not None else self.hedge
+        retry_budget = retry_budget if retry_budget is not None else self.retry_budget
+        if deadline is not None or (policy is not None and policy.enabled):
+            return self._run_shards_supervised(
+                tasks, observer=observer, deadline=deadline,
+                policy=policy, retry_budget=retry_budget,
+            )
         executor = self._ensure_executor()
         start = time.perf_counter()
         futures = [executor.submit(_pool_worker, task) for task in tasks]
@@ -232,6 +364,53 @@ class ProcessPool:
                 ) from None
             if observer is not None:
                 observer.on_pool_shard("ok", time.perf_counter() - start)
+        return results
+
+    def _run_shards_supervised(
+        self, tasks, *, observer, deadline, policy, retry_budget
+    ) -> list[dict]:
+        from ..serve.hedging import LatencyEstimator, ShardTimeout, supervise_shards
+
+        if self._estimator is None:
+            self._estimator = LatencyEstimator(seed=self._hedge_seed)
+        transport = _ExecutorTransport(self)
+        start = time.perf_counter()
+        try:
+            results, report = supervise_shards(
+                transport,
+                tasks,
+                clock=self._clock,
+                deadline=deadline,
+                policy=policy,
+                estimator=self._estimator,
+                retry_budget=retry_budget,
+                observer=observer,
+            )
+        except ShardTimeout:
+            elapsed = time.perf_counter() - start
+            if observer is not None:
+                observer.on_pool_shard("timeout", elapsed)
+            self._quarantine("deadline", observer=observer)
+            raise
+        except BrokenProcessPool:
+            elapsed = time.perf_counter() - start
+            self._discard_executor()
+            self._discard_hedge_executor()
+            if observer is not None:
+                observer.on_pool_crash()
+                observer.on_pool_shard("crashed", elapsed)
+            raise WorkerCrashError(
+                "a pool worker died mid-shard; the batch produced no answers"
+            ) from None
+        if observer is not None:
+            elapsed = time.perf_counter() - start
+            for _ in results:
+                observer.on_pool_shard("ok", elapsed)
+        # A primary that lost its hedge race *and* is still running now
+        # is genuinely stuck (a merely queued loser was cancelled, a
+        # merely slow one has finished by the end of the batch).
+        if any(not handle.done() for _idx, handle in report.stragglers):
+            self._quarantine("straggler", observer=observer)
         return results
 
     # ------------------------------------------------------------------
@@ -255,9 +434,16 @@ class ProcessPool:
                 finally:
                     self._executor = None
         finally:
-            shared, self._shared = self._shared, {}
-            for handle in shared.values():
-                handle.unlink()
+            try:
+                if self._hedge_executor is not None:
+                    try:
+                        self._hedge_executor.shutdown(wait=True, cancel_futures=True)
+                    finally:
+                        self._hedge_executor = None
+            finally:
+                shared, self._shared = self._shared, {}
+                for handle in shared.values():
+                    handle.unlink()
 
     def __enter__(self) -> "ProcessPool":
         return self
@@ -270,6 +456,40 @@ class ProcessPool:
             self.close()
         except Exception:
             pass
+
+
+class _ExecutorTransport:
+    """Adapt the pool's executors to the supervise_shards protocol.
+
+    Primaries go to the main executor; hedge copies go to the
+    dedicated hedge lane with worker-fault task keys already stripped
+    by the supervisor (the fault models a sick worker, not sick work).
+    """
+
+    #: real executors poll in short slices so deadline checks stay live.
+    poll_cap = 0.05
+
+    def __init__(self, pool: "ProcessPool") -> None:
+        self._pool = pool
+
+    def submit(self, task: dict, lane: str = "primary"):
+        if lane == "hedge":
+            executor = self._pool._ensure_hedge_executor()
+        else:
+            executor = self._pool._ensure_executor()
+        return executor.submit(_pool_worker, task)
+
+    def wait(self, handles, timeout):
+        done, _not_done = _futures_wait(
+            handles, timeout=timeout, return_when=FIRST_COMPLETED
+        )
+        return done
+
+    def result(self, handle):
+        return handle.result(timeout=0)
+
+    def cancel(self, handle) -> bool:
+        return handle.cancel()
 
 
 # ----------------------------------------------------------------------
@@ -301,8 +521,17 @@ def _pool_worker(task: dict) -> dict:
     # real work has happened — no cleanup, no exception, like the OOM
     # killer.  The parent sees BrokenProcessPool.
     kill_at = len(units) // 2 if task.get("kill") else None
+    # Injected worker stall: a *real* sleep halfway through the shard,
+    # modelling a wedged-but-alive worker (swap storm, hung syscall).
+    # Unlike the engine-level simulated stall this blocks actual wall
+    # time, which is exactly what shard deadlines and hedging defend
+    # against; the worker eventually wakes and returns correct bytes.
+    stall_s = float(task.get("stall") or 0.0)
+    stall_at = len(units) // 2 if stall_s > 0 else None
     out = []
     for pos, unit in enumerate(units):
+        if stall_at is not None and pos == stall_at:
+            time.sleep(stall_s)
         if kill_at is not None and pos == kill_at:
             os.kill(os.getpid(), signal.SIGKILL)
         out.append(_run_unit(graph, task, unit))
@@ -431,6 +660,9 @@ def solve_batch_process(
     certify: bool = False,
     workers: int | None = None,
     pool: ProcessPool | None = None,
+    shard_deadline: float | None = None,
+    hedge=None,
+    retry_budget=None,
     **engine_kwargs,
 ) -> BatchResult:
     """Answer a batch on worker processes, bit-identical to serial.
@@ -456,8 +688,9 @@ def solve_batch_process(
     if injector is not None and _has_engine_faults(injector):
         raise ValueError(
             "backend='process' cannot replay engine-level fault injection "
-            "(the injector's seeded RNG lives in the parent); only "
-            "kill_worker_at is supported with the process backend"
+            "(the injector's seeded RNG lives in the parent); only the "
+            "pool-level kill_worker_at / stall_worker_at faults are "
+            "supported with the process backend"
         )
     unsupported = set(engine_kwargs) - _SHIPPABLE_ENGINE_KWARGS
     if unsupported:
@@ -486,12 +719,22 @@ def solve_batch_process(
                 "units": [units[u] for u in unit_ids],
             }
             task.update(extras)
-            if injector is not None and injector.take_worker_kill(shard_idx):
-                task["kill"] = True
+            if injector is not None:
+                if injector.take_worker_kill(shard_idx):
+                    task["kill"] = True
+                stall = injector.take_worker_stall(shard_idx)
+                if stall:
+                    task["stall"] = stall
             tasks.append(task)
         if observer is not None:
             observer.on_pool_batch(method, pool.workers, len(tasks))
-        shard_results = pool.run_shards(tasks, observer=observer)
+        shard_results = pool.run_shards(
+            tasks,
+            observer=observer,
+            deadline=shard_deadline,
+            hedge=hedge,
+            retry_budget=retry_budget,
+        )
         by_unit: dict[int, dict] = {}
         for shard in shard_results:
             for unit_res in shard["units"]:

@@ -38,7 +38,11 @@ or becomes inf/nan) but stays a legal float:
 ``kill_worker_at`` (PR 7) targets the process-pool backend instead of
 the engine: the worker running the given shard index SIGKILLs itself
 mid-shard, modeling an OOM-killed or segfaulted worker process that the
-pool must surface as a shard failure.
+pool must surface as a shard failure.  ``stall_worker_at`` (PR 9) is
+its wedged-but-alive sibling: the worker sleeps ``stall_worker_seconds``
+of real wall time mid-shard — invisible to ``BrokenProcessPool``
+detection, recoverable only by shard deadlines / hedged re-execution
+(:mod:`repro.serve.hedging`).
 
 Every decision flows from one seeded RNG plus hash-based per-vertex
 noise, so a chaos run is exactly reproducible from its seed.  Injection
@@ -127,6 +131,8 @@ class FaultInjector:
         flip_cache_payload: bool = False,
         flip_checkpoint: bool = False,
         kill_worker_at: int | None = None,
+        stall_worker_at: int | None = None,
+        stall_worker_seconds: float = 1.0,
         clock=None,
         max_fires: int = 1,
     ) -> None:
@@ -149,6 +155,8 @@ class FaultInjector:
         self.flip_cache_payload = bool(flip_cache_payload)
         self.flip_checkpoint = bool(flip_checkpoint)
         self.kill_worker_at = kill_worker_at
+        self.stall_worker_at = stall_worker_at
+        self.stall_worker_seconds = float(stall_worker_seconds)
         #: the SimClock (anything with ``advance``) that stall faults
         #: push forward; stalls are inert without one.
         self.clock = clock
@@ -260,6 +268,21 @@ class FaultInjector:
             self._record(shard_index, "kill-worker")
             return True
         return False
+
+    def take_worker_stall(self, shard_index: int) -> float | None:
+        """Seconds the worker executing ``shard_index`` should sleep, or None.
+
+        The pool-level sibling of ``kill_worker_at``, but the worker
+        stays *alive*: it sleeps ``stall_worker_seconds`` of real wall
+        time halfway through its shard — a wedged worker the executor
+        cannot detect (no ``BrokenProcessPool``), which is the failure
+        mode shard deadlines and hedged re-execution exist for.  Fires
+        at most once per ``max_fires``.
+        """
+        if self.stall_worker_at == shard_index and self._armed():
+            self._record(shard_index, "stall-worker")
+            return self.stall_worker_seconds
+        return None
 
     # -- storage hooks --------------------------------------------------
     def corrupt_warm_answer(self, answer):

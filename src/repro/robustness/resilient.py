@@ -10,7 +10,12 @@ Each engine rung runs under its own (fresh) budget and, when checked
 mode is on, under an :class:`~repro.robustness.auditor.InvariantAuditor`.
 Transient failures (exceptions carrying ``transient=True``, e.g. an
 :class:`~repro.robustness.faults.InjectedFault` from chaos tests) are
-retried on the same rung with exponential backoff; permanent failures —
+retried on the same rung with seeded decorrelated-jitter backoff
+(:func:`~repro.serve.overload.next_backoff` — delays spread out instead
+of doubling in lockstep, and an injectable RNG/sleep keeps tests
+deterministic), optionally gated by a shared
+:class:`~repro.serve.overload.RetryBudget` so a fleet of failing
+queries cannot mount a retry storm; permanent failures —
 an :class:`~repro.robustness.auditor.InvariantViolation`, a missing
 heuristic, any policy error — skip straight to the next rung.  The final
 rung is the sequential textbook Dijkstra oracle, which shares no code
@@ -91,6 +96,10 @@ def resilient_ppsp(
     budget=None,
     retries: int = 1,
     backoff: float = 0.0,
+    backoff_cap: float | None = None,
+    rng=None,
+    sleep=None,
+    retry_budget=None,
     checked: bool = False,
     reference_fallback: bool = True,
     fault_injector=None,
@@ -111,8 +120,23 @@ def resilient_ppsp(
     retries : int
         Extra tries per rung for *transient* failures.
     backoff : float
-        Base sleep (seconds) between transient retries, doubled per try.
-        Zero (the default) retries immediately — tests stay fast.
+        Base sleep (seconds) between transient retries.  Each delay is
+        drawn with decorrelated jitter — ``min(cap, uniform(backoff,
+        3 x previous))`` — so concurrent retriers spread out instead of
+        synchronizing into waves.  Zero (the default) retries
+        immediately — tests stay fast.
+    backoff_cap : float or None
+        Ceiling on one jittered delay; defaults to ``16 x backoff``.
+    rng : None | int | numpy.random.Generator
+        Seed/generator for the jitter draws; pass a seed for
+        deterministic delays in tests.
+    sleep : callable or None
+        Injectable sleep (default :func:`time.sleep`); tests pass a
+        recorder so no real time is spent.
+    retry_budget : repro.serve.overload.RetryBudget or None
+        Shared token bucket gating retries (one token each).  A denied
+        acquisition skips the remaining tries on the rung and moves
+        down the chain — under overload, degrading beats amplifying.
     checked : bool
         Run every engine rung under a fresh :class:`InvariantAuditor`.
     reference_fallback : bool
@@ -142,6 +166,13 @@ def resilient_ppsp(
     best_bound = np.inf
     best_answer: PPSPAnswer | None = None
     best_method: str | None = None
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    if sleep is None:
+        sleep = time.sleep
+    if backoff_cap is None:
+        backoff_cap = 16.0 * backoff
+    prev_delay = backoff
 
     def note(report: AttemptReport) -> None:
         attempts.append(report)
@@ -179,8 +210,17 @@ def resilient_ppsp(
                     transient=transient,
                 ))
                 if transient and attempt <= retries:
+                    if retry_budget is not None and not retry_budget.try_acquire(
+                        kind="retry"
+                    ):
+                        break  # bucket dry: degrade to the next rung
                     if backoff > 0:
-                        time.sleep(backoff * (2 ** (attempt - 1)))
+                        from ..serve.overload import next_backoff
+
+                        prev_delay = next_backoff(
+                            prev_delay, base=backoff, cap=backoff_cap, rng=rng
+                        )
+                        sleep(prev_delay)
                     continue
                 break  # permanent (or retries spent): next rung
             if ans.exact:

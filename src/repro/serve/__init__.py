@@ -24,6 +24,14 @@ For a *stream* of queries rather than a pre-assembled batch, the
 individual submissions into right-sized batches over a persistent warm
 worker pool and resolves each one as a future — see ``repro serve`` and
 the service section of ``docs/robustness.md``.
+
+Straggler-proofing (PR 9) lives in two sibling modules:
+:mod:`repro.serve.hedging` supplies per-shard deadlines and hedged
+re-execution for the process backend (a stalled worker can no longer
+hang a batch — it is timed out and quarantined, or outraced by a
+bit-identical backup), and :mod:`repro.serve.overload` supplies the
+retry token bucket, decorrelated-jitter backoff, and the CoDel+AIMD
+adaptive admission control the query service runs under.
 """
 
 from .admission import (
@@ -39,6 +47,21 @@ from .admission import (
 )
 from .breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, CircuitBreaker
 from .checkpoint import CheckpointCorrupt, CheckpointStore, batch_fingerprint
+from .hedging import (
+    HedgePolicy,
+    LatencyEstimator,
+    ShardTimeout,
+    SimShardTransport,
+    SuperviseReport,
+    supervise_shards,
+)
+from .overload import (
+    AIMDLimiter,
+    CoDelShedder,
+    OverloadController,
+    RetryBudget,
+    next_backoff,
+)
 from .pipeline import SERVE_METHODS, PipelineResult, ServePipeline, serve_batch
 from .service import (
     FLUSH_REASONS,
@@ -75,4 +98,15 @@ __all__ = [
     "FAILED",
     "REPAIRED",
     "OUTCOMES",
+    "ShardTimeout",
+    "HedgePolicy",
+    "LatencyEstimator",
+    "SuperviseReport",
+    "SimShardTransport",
+    "supervise_shards",
+    "RetryBudget",
+    "AIMDLimiter",
+    "CoDelShedder",
+    "OverloadController",
+    "next_backoff",
 ]

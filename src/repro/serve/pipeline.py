@@ -236,6 +236,9 @@ class ServePipeline:
         backend: str = "serial",
         workers: int | None = None,
         pool=None,
+        shard_deadline: float | None = None,
+        hedge=None,
+        retry_budget=None,
     ) -> None:
         if method not in SERVE_METHODS:
             raise ValueError(f"unknown serve method {method!r}; options: {SERVE_METHODS}")
@@ -245,6 +248,8 @@ class ServePipeline:
             raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
         if deadline_ms is not None and deadline_ms < 0:
             raise ValueError(f"deadline_ms must be nonnegative, got {deadline_ms}")
+        if shard_deadline is not None and shard_deadline <= 0:
+            raise ValueError(f"shard_deadline must be > 0, got {shard_deadline}")
         self.graph = graph
         self.method = method
         self.checkpoint_path = checkpoint_path
@@ -263,6 +268,16 @@ class ServePipeline:
         self.workers = workers
         self.pool = pool
         self._pool = None
+        # Straggler defense (process backend): per-shard deadline,
+        # hedge policy (True -> defaults), and the retry token bucket
+        # shared between hedges and resilient-chain retries.
+        self.shard_deadline = shard_deadline
+        if hedge is True:
+            from .hedging import HedgePolicy
+
+            hedge = HedgePolicy()
+        self.hedge = hedge or None
+        self.retry_budget = retry_budget
         self.verify = bool(verify)
         self.certify = bool(certify) or self.verify
         self.collect_paths = bool(collect_paths)
@@ -574,6 +589,12 @@ class ServePipeline:
                 # factories are single-process by nature; those shards
                 # run serially, everything else goes to the pool.
                 backend_kwargs = {"backend": "process", "pool": self._pool}
+                if self.shard_deadline is not None:
+                    backend_kwargs["shard_deadline"] = self.shard_deadline
+                if self.hedge is not None:
+                    backend_kwargs["hedge"] = self.hedge
+                if self.retry_budget is not None:
+                    backend_kwargs["retry_budget"] = self.retry_budget
             try:
                 res = solve_batch(
                     self.graph,
@@ -647,6 +668,7 @@ class ServePipeline:
                 methods=self.resilient_methods,
                 budget=budget,
                 retries=self.retries,
+                retry_budget=self.retry_budget,
                 breakers=self.breakers,
                 fault_injector=self.fault_injector,
                 observer=self.observer,

@@ -18,8 +18,23 @@ A batch is flushed when the first of three triggers fires:
 * **wait** — the oldest queued query has waited ``max_wait_ms`` on the
   service clock (an injectable :class:`~repro.robustness.SimClock` in
   tests, real time in production), bounding tail latency on a trickle;
-* **pressure** — the backlog exceeds ``pressure`` queries (a burst),
-  so the batcher stops waiting and drains in ``max_batch`` chunks.
+* **pressure** — the backlog exceeds the *adaptive* pressure limit (a
+  burst), so the batcher stops waiting and drains in ``max_batch``
+  chunks.  The limit is an AIMD concurrency control
+  (:class:`~repro.serve.overload.OverloadController`): it starts at the
+  configured ``pressure`` (default ``4 x max_batch``, which is also its
+  ceiling — a healthy service behaves exactly like the old static
+  rule), halves when a batch comes back with timeouts or failures, and
+  recovers additively while batches stay healthy.
+
+On top of the flush triggers sits a degradation ladder — **exact ->
+inexact -> shed**: when queue sojourn stays above the CoDel-style
+target for a full interval and ``degrade_budget_ms`` is configured,
+flushed queries gain a wall-clock budget and degrade to certified
+upper bounds instead of queueing further; and when the oldest queued
+query has waited past ``shed_multiple x target`` (the queue has
+stopped draining), brand-new submissions are shed at the door with an
+immediately-resolved ``shed`` future.
 
 Duplicate ``(s, t)`` submissions inside one window coalesce into a
 single execution and fan back out to every waiting future — an
@@ -52,7 +67,8 @@ from dataclasses import dataclass, field
 
 from ..api import validate_query
 from ..robustness.clock import as_clock
-from .admission import FAILED, ServeQuery
+from .admission import FAILED, SHED, ServeQuery
+from .overload import AIMDLimiter, OverloadController
 from .pipeline import ServePipeline
 
 __all__ = [
@@ -174,7 +190,16 @@ class QueryService:
         Longest a queued query waits before a partial batch flushes.
     pressure : int or None
         Backlog size that triggers immediate draining (default
-        ``4 * max_batch``); must be >= ``max_batch``.
+        ``4 * max_batch``); must be >= ``max_batch``.  This is the
+        *ceiling* of the AIMD limiter — overloaded batches pull the
+        live limit down toward ``max_batch``, healthy ones restore it.
+    overload : OverloadController, False, or None
+        ``None`` (default) builds an :class:`~repro.serve.overload.
+        OverloadController` from the ``codel_target_ms`` /
+        ``codel_interval_ms`` / ``shed_multiple`` /
+        ``degrade_budget_ms`` knobs; pass ``False`` to disable
+        adaptive control (static pressure only) or a controller to
+        share one across services.
     certify, collect_paths : bool
         Attach each answer's certificate / shortest path to its
         :class:`ServiceResult`.
@@ -201,6 +226,11 @@ class QueryService:
         certify: bool = False,
         collect_paths: bool = False,
         checkpoint_every: int | None = None,
+        overload=None,
+        codel_target_ms: float = 100.0,
+        codel_interval_ms: float = 1000.0,
+        shed_multiple: float = 8.0,
+        degrade_budget_ms: float | None = None,
         **pipeline_kwargs,
     ) -> None:
         if max_batch < 1:
@@ -219,13 +249,29 @@ class QueryService:
         self._real_clock = clock is None
         self.observer = observer
         self.backend = backend
+        if overload is False:
+            self._overload = None
+        elif overload is not None:
+            self._overload = overload
+            if self._overload.observer is None:
+                self._overload.observer = observer
+        else:
+            self._overload = OverloadController(
+                clock=clock,
+                target_ms=codel_target_ms,
+                interval_ms=codel_interval_ms,
+                shed_multiple=shed_multiple,
+                degrade_budget_ms=degrade_budget_ms,
+                aimd=AIMDLimiter(initial=self.pressure / self.max_batch),
+                observer=observer,
+            )
 
         self._own_pool = False
         self._pool = pool
         if backend == "process" and pool is None:
             from ..parallel.pool import ProcessPool
 
-            self._pool = ProcessPool(workers)
+            self._pool = ProcessPool(workers, observer=observer)
             self._own_pool = True
 
         self._pipeline = ServePipeline(
@@ -259,6 +305,7 @@ class QueryService:
         self._next_batch_index = 0
         self._counts = {
             "submitted": 0, "executed": 0, "deduped": 0, "errors": 0,
+            "shed": 0, "degraded": 0,
         }
         self._flush_reasons = {reason: 0 for reason in FLUSH_REASONS}
         self._seen_respawns = 0
@@ -275,6 +322,11 @@ class QueryService:
     def pool(self):
         """The persistent worker pool (``None`` for the serial backend)."""
         return self._pool
+
+    @property
+    def overload(self):
+        """The adaptive overload controller (``None`` when disabled)."""
+        return self._overload
 
     def start(self) -> "QueryService":
         """Warm the pool and launch the dispatcher thread (idempotent)."""
@@ -372,6 +424,25 @@ class QueryService:
                 if self.observer is not None:
                     self.observer.on_service_dedup()
             else:
+                if self._overload is not None and self._pending:
+                    # Door shedding: a *new* query is refused outright
+                    # when the oldest queued one has waited past the
+                    # shed threshold — the queue has stopped draining,
+                    # and queueing more only manufactures timeouts.
+                    # Duplicates of queued queries always coalesce
+                    # (they cost nothing extra).
+                    oldest = next(iter(self._pending.values()))
+                    if self._overload.should_shed(
+                        oldest_sojourn_s=self._clock() - oldest.submitted
+                    ):
+                        self._counts["submitted"] += 1
+                        self._counts["shed"] += 1
+                        future._resolve(ServiceResult(
+                            source=key[0], target=key[1],
+                            distance=float("inf"), exact=False,
+                            outcome=SHED, batch_index=-1, waited_s=0.0,
+                        ))
+                        return future
                 self._pending[key] = _Pending(
                     query=ServeQuery(key[0], key[1], priority=priority,
                                      deadline=deadline),
@@ -436,6 +507,12 @@ class QueryService:
             total += n
         return total
 
+    def _pressure_limit(self) -> int:
+        """The live pressure threshold (AIMD-adapted, static ceiling)."""
+        if self._overload is None:
+            return self.pressure
+        return min(self.pressure, self._overload.pressure_limit(self.max_batch))
+
     def _drain_full_batches(self) -> None:
         """Inline-mode size/pressure triggers after a submission."""
         while True:
@@ -443,7 +520,7 @@ class QueryService:
                 depth = len(self._pending)
                 if depth < self.max_batch:
                     return
-                reason = "pressure" if depth >= self.pressure else "size"
+                reason = "pressure" if depth >= self._pressure_limit() else "size"
             if not self._flush_chunk(reason):
                 return
 
@@ -477,10 +554,26 @@ class QueryService:
             self._next_batch_index += 1
             if self.observer is not None:
                 self.observer.on_service_flush(reason, len(entries), waited)
+            if self._overload is not None:
+                # Degradation ladder, middle rung: under persistent
+                # queue delay (CoDel) with degrade_budget_ms set, the
+                # batch runs under a wall budget — certified upper
+                # bounds now beat exact answers later.
+                if self._overload.flush_mode(waited) == "inexact":
+                    degrade_deadline = flushed_at + self._overload.degrade_budget_s
+                    for e in entries:
+                        q = e.query
+                        q.deadline = (
+                            degrade_deadline if q.deadline is None
+                            else min(q.deadline, degrade_deadline)
+                        )
+                    self._counts["degraded"] += len(entries)
             try:
                 res = self._pipeline.run([e.query for e in entries])
             except Exception as exc:  # noqa: BLE001 — futures must resolve
                 self._counts["errors"] += 1
+                if self._overload is not None:
+                    self._overload.on_batch_done({"failed": len(entries)})
                 for e in entries:
                     s, t = e.query.key
                     for f in e.futures:
@@ -508,6 +601,12 @@ class QueryService:
                 for f in e.futures:
                     f._resolve(result)
             self._counts["executed"] += len(entries)
+            if self._overload is not None:
+                tally: dict[str, int] = {}
+                for e in entries:
+                    out = res.outcomes.get(e.query.key, FAILED)
+                    tally[out] = tally.get(out, 0) + 1
+                self._overload.on_batch_done(tally)
             self._record_batch(entries, reason, index, waited)
             self._note_respawns()
 
@@ -548,7 +647,7 @@ class QueryService:
                     return
                 depth = len(self._pending)
                 entry = next(iter(self._pending.values()), None)
-                if depth >= self.pressure:
+                if depth >= self._pressure_limit():
                     reason = "pressure"
                 elif depth >= self.max_batch:
                     reason = "size"
@@ -573,7 +672,7 @@ class QueryService:
     def stats(self) -> dict:
         """Service counters for logs, tests, and the CLI summary."""
         with self._lock:
-            return {
+            out = {
                 **dict(self._counts),
                 "pending": len(self._pending),
                 "batches": self._next_batch_index,
@@ -581,3 +680,10 @@ class QueryService:
                 "respawns": 0 if self._pool is None else self._pool.respawns,
                 "breakers": self._pipeline.breakers.states(),
             }
+            if self._overload is not None:
+                out["overload"] = {
+                    "pressure_limit": self._pressure_limit(),
+                    "aimd_limit": self._overload.aimd.limit,
+                    "decisions": dict(self._overload.counts),
+                }
+            return out

@@ -1,0 +1,91 @@
+"""ProcessPool.ping failure accounting — no real workers involved.
+
+A probe that dies with an ``OSError`` (a torn pipe, not a worker
+crash) must not be silently folded into a bare ``False``: the failure
+class is logged, counted per exception type on the observer, and the
+executor is respawned.  The fake executor below keeps this tier-1
+(fork-free); the real-pool behaviour rides in the fork-heavy suites.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs import Observer
+from repro.parallel.pool import ProcessPool
+
+
+class _FakeFuture:
+    def __init__(self, exc):
+        self._exc = exc
+
+    def result(self, timeout=None):
+        if self._exc is not None:
+            raise self._exc
+        return 0
+
+
+class _FakeExecutor:
+    def __init__(self, exc=None):
+        self.exc = exc
+        self.submissions = 0
+
+    def submit(self, fn, *args, **kwargs):
+        self.submissions += 1
+        return _FakeFuture(self.exc)
+
+
+@pytest.fixture
+def pool(monkeypatch):
+    pool = ProcessPool(workers=2, observer=Observer())
+    calls = {"ensure": 0, "discard": 0}
+    fake = _FakeExecutor()
+
+    def ensure():
+        calls["ensure"] += 1
+        return fake
+
+    monkeypatch.setattr(pool, "_ensure_executor", ensure)
+    monkeypatch.setattr(pool, "_discard_executor", lambda: calls.__setitem__(
+        "discard", calls["discard"] + 1))
+    return pool, fake, calls
+
+
+def test_healthy_ping_probes_every_slot(pool):
+    p, fake, calls = pool
+    assert p.ping() is True
+    assert fake.submissions == 2  # one probe per worker slot
+    assert calls["discard"] == 0
+
+
+@pytest.mark.parametrize("exc", [OSError("pipe closed"), TimeoutError("late")])
+def test_failed_ping_counts_the_failure_class(pool, caplog, exc):
+    p, fake, calls = pool
+    fake.exc = exc
+    with caplog.at_level(logging.WARNING, logger="repro.pool"):
+        assert p.ping() is False
+    reason = type(exc).__name__
+    counter = p.observer.registry.get("repro_pool_ping_failures_total")
+    assert counter.value(error=reason) == 1
+    # the respawn reason is in the log, not swallowed
+    assert any(reason in rec.getMessage() for rec in caplog.records)
+    # discarded and rebuilt: ensure called for the probe and the respawn
+    assert calls["discard"] == 1
+    assert calls["ensure"] == 2
+
+
+def test_failed_ping_without_observer_still_respawns(monkeypatch):
+    p = ProcessPool(workers=1)
+    fake = _FakeExecutor(exc=OSError("gone"))
+    monkeypatch.setattr(p, "_ensure_executor", lambda: fake)
+    monkeypatch.setattr(p, "_discard_executor", lambda: None)
+    assert p.ping() is False
+
+
+def test_ping_on_closed_pool_raises():
+    p = ProcessPool(workers=1)
+    p.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        p.ping()

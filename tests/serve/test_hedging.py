@@ -1,0 +1,289 @@
+"""Shard supervision unit tests: deadlines, hedge races, budgets.
+
+Every scenario runs on :class:`SimShardTransport` over a
+:class:`SimClock`, so timeout and hedge decisions are exact simulated
+events — no sleeping, no flaky races.  The real process pool gets its
+own fork-heavy suite (``tests/parallel/test_pool_stall_chaos.py``,
+marker ``hedge``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Observer
+from repro.robustness import SimClock
+from repro.serve import (
+    HedgePolicy,
+    LatencyEstimator,
+    RetryBudget,
+    ShardTimeout,
+    SimShardTransport,
+    supervise_shards,
+)
+from repro.serve.hedging import FAULT_TASK_KEYS
+
+
+def run_supervised(latency, tasks, **kwargs):
+    clock = kwargs.pop("clock", None) or SimClock()
+    transport = SimShardTransport(clock, latency, run=kwargs.pop("run", None))
+    results, report = supervise_shards(transport, tasks, clock=clock, **kwargs)
+    return results, report, transport, clock
+
+
+class TestPolicyAndEstimator:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(factor=0.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(min_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(min_delay_s=2.0, max_delay_s=1.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(jitter=-0.1)
+
+    def test_estimator_cold_start_uses_initial_delay(self):
+        est = LatencyEstimator(seed=0)
+        policy = HedgePolicy(initial_delay_s=0.25, jitter=0.0)
+        assert est.median() is None
+        assert est.hedge_delay(policy) == pytest.approx(0.25)
+
+    def test_estimator_median_drives_delay(self):
+        est = LatencyEstimator(seed=0)
+        for lat in (0.1, 0.2, 0.3):
+            est.observe(lat)
+        assert est.median() == pytest.approx(0.2)
+        policy = HedgePolicy(factor=3.0, jitter=0.0)
+        assert est.hedge_delay(policy) == pytest.approx(0.6)
+
+    def test_estimator_window_trims_oldest(self):
+        est = LatencyEstimator(window=2, seed=0)
+        for lat in (10.0, 1.0, 2.0):
+            est.observe(lat)
+        assert len(est) == 2
+        assert est.median() == pytest.approx(1.5)
+
+    def test_estimator_window_validation(self):
+        with pytest.raises(ValueError):
+            LatencyEstimator(window=0)
+
+    def test_delay_clamped_to_policy_bounds(self):
+        est = LatencyEstimator(seed=0)
+        est.observe(1e-6)
+        policy = HedgePolicy(min_delay_s=0.05, max_delay_s=30.0, jitter=0.0)
+        assert est.hedge_delay(policy) == pytest.approx(0.05)
+        est2 = LatencyEstimator(seed=0)
+        est2.observe(1e6)
+        assert est2.hedge_delay(policy) == pytest.approx(30.0)
+
+    def test_seeded_jitter_is_reproducible(self):
+        policy = HedgePolicy(jitter=0.5)
+        a = LatencyEstimator(seed=42)
+        b = LatencyEstimator(seed=42)
+        assert [a.hedge_delay(policy) for _ in range(5)] == [
+            b.hedge_delay(policy) for _ in range(5)
+        ]
+
+
+class TestSupervise:
+    def test_healthy_shards_never_hedge(self):
+        results, report, transport, _ = run_supervised(
+            lambda task, lane: 0.05,
+            [{"shard": i} for i in range(4)],
+            policy=HedgePolicy(),
+        )
+        assert [r["shard"] for r in results] == [0, 1, 2, 3]
+        assert report.hedges == 0
+        assert report.hedge_wins == 0
+        assert transport.cancelled == []
+
+    def test_hedge_outraces_wedged_primary(self):
+        def latency(task, lane):
+            if lane == "hedge":
+                return 0.02
+            return 60.0 if task["shard"] == 1 else 0.05
+
+        results, report, transport, clock = run_supervised(
+            latency, [{"shard": i} for i in range(3)],
+            policy=HedgePolicy(),
+        )
+        assert [r["shard"] for r in results] == [0, 1, 2]
+        assert report.hedges == 1
+        assert report.hedge_wins == 1
+        assert report.primary_wins_hedged == 0
+        # the wedged primary was cancelled, and no 60 s was "slept"
+        assert len(transport.cancelled) == 1
+        assert clock() < 1.0
+
+    def test_primary_wins_its_own_hedge_race(self):
+        def latency(task, lane):
+            # primary finishes at 0.4 s, after the ~0.25-0.3 s cold
+            # hedge delay but well before the 5 s hedge copy.
+            return 5.0 if lane == "hedge" else 0.4
+
+        results, report, transport, _ = run_supervised(
+            latency, [{"shard": 0}], policy=HedgePolicy(),
+        )
+        assert results[0] == {"shard": 0}
+        assert report.hedges == 1
+        assert report.primary_wins_hedged == 1
+        assert report.hedge_wins == 0
+        assert len(transport.cancelled) == 1  # the losing hedge
+
+    def test_deadline_raises_shard_timeout_and_cancels(self):
+        clock = SimClock()
+        transport = SimShardTransport(clock, lambda task, lane: 60.0)
+        with pytest.raises(ShardTimeout) as err:
+            supervise_shards(
+                transport, [{"shard": 0}, {"shard": 1}],
+                clock=clock, deadline=0.5,
+            )
+        assert err.value.shard in (0, 1)
+        assert err.value.deadline_s == pytest.approx(0.5)
+        # nothing is left running: both primaries were cancelled
+        assert sorted(transport.cancelled) == [0, 1]
+        assert clock() == pytest.approx(0.5)
+
+    def test_deadline_validation(self):
+        clock = SimClock()
+        transport = SimShardTransport(clock, lambda task, lane: 0.01)
+        with pytest.raises(ValueError):
+            supervise_shards(transport, [{}], clock=clock, deadline=0.0)
+
+    def test_fast_shards_beat_their_deadline(self):
+        results, report, _, _ = run_supervised(
+            lambda task, lane: 0.05,
+            [{"shard": i} for i in range(3)],
+            deadline=1.0,
+        )
+        assert len(results) == 3
+        assert report.hedges == 0
+
+    def test_budget_denial_skips_hedge_but_shard_completes(self):
+        clock = SimClock()
+        budget = RetryBudget(capacity=0.0, refill_per_s=0.0, clock=clock)
+        results, report, transport, _ = run_supervised(
+            lambda task, lane: 0.6 if lane == "primary" else 0.02,
+            [{"shard": 0}],
+            clock=clock, policy=HedgePolicy(), retry_budget=budget,
+        )
+        assert results[0] == {"shard": 0}  # primary still answered
+        assert report.hedges == 0
+        assert report.hedges_denied == 1
+        assert budget.denied == {"hedge": 1}
+
+    def test_budget_funds_first_hedge_then_denies_second(self):
+        clock = SimClock()
+        budget = RetryBudget(capacity=1.0, refill_per_s=0.0, clock=clock)
+        results, report, _, _ = run_supervised(
+            lambda task, lane: 0.02 if lane == "hedge" else 60.0,
+            [{"shard": 0}, {"shard": 1}],
+            clock=clock, deadline=90.0,
+            policy=HedgePolicy(), retry_budget=budget,
+        )
+        assert report.hedges == 1
+        assert report.hedges_denied == 1
+        assert report.hedge_wins == 1
+        # the denied shard's primary eventually finished on its own
+        assert [r["shard"] for r in results] == [0, 1]
+
+    def test_hedge_copy_strips_fault_keys(self):
+        seen = []
+
+        def run(task, lane):
+            seen.append((lane, dict(task)))
+            return task
+
+        run_supervised(
+            lambda task, lane: 0.02 if lane == "hedge" else 60.0,
+            [{"shard": 0, "kill": True, "stall": 2.0}],
+            policy=HedgePolicy(), run=run,
+        )
+        hedge_tasks = [t for lane, t in seen if lane == "hedge"]
+        assert hedge_tasks, "hedge never ran"
+        for key in FAULT_TASK_KEYS:
+            assert key not in hedge_tasks[0]
+
+    def test_winning_attempt_exception_propagates(self):
+        boom = RuntimeError("shard exploded")
+        clock = SimClock()
+        transport = SimShardTransport(
+            clock, lambda task, lane: 0.05, run=lambda task, lane: boom
+        )
+        with pytest.raises(RuntimeError, match="shard exploded"):
+            supervise_shards(transport, [{"shard": 0}], clock=clock)
+
+    def test_simultaneous_finish_resolves_once(self):
+        # primary and hedge complete in the same wait slice; the shard
+        # must resolve exactly once and the run must terminate.
+        def latency(task, lane):
+            return 0.1 if lane == "hedge" else 0.4
+
+        clock = SimClock()
+        est = LatencyEstimator(seed=0)
+        policy = HedgePolicy(
+            initial_delay_s=0.3, jitter=0.0, min_delay_s=0.05
+        )
+        transport = SimShardTransport(clock, latency)
+        results, report = supervise_shards(
+            transport, [{"shard": 0}],
+            clock=clock, policy=policy, estimator=est,
+        )
+        assert results == [{"shard": 0}]
+        assert report.hedges == 1
+        assert report.hedge_wins + report.primary_wins_hedged == 1
+
+    def test_estimator_learns_from_supervised_run(self):
+        est = LatencyEstimator(seed=0)
+        run_supervised(
+            lambda task, lane: 0.2,
+            [{"shard": i} for i in range(5)],
+            estimator=est,
+        )
+        assert len(est) == 5
+        assert est.median() == pytest.approx(0.2)
+
+    def test_observer_counters_cover_the_race(self):
+        obs = Observer()
+
+        def latency(task, lane):
+            if lane == "hedge":
+                return 0.02
+            return 60.0 if task["shard"] == 0 else 0.05
+
+        run_supervised(
+            latency, [{"shard": 0}, {"shard": 1}],
+            policy=HedgePolicy(), observer=obs,
+        )
+        reg = obs.registry
+        assert reg.get("repro_hedge_launched_total").value() == 1
+        assert reg.get("repro_hedge_races_total").value(winner="hedge") == 1
+
+    def test_observer_counts_timeout_and_denial(self):
+        obs = Observer()
+        clock = SimClock()
+        transport = SimShardTransport(clock, lambda task, lane: 60.0)
+        with pytest.raises(ShardTimeout):
+            supervise_shards(
+                transport, [{"shard": 0}],
+                clock=clock, deadline=0.5, observer=obs,
+            )
+        clock2 = SimClock()
+        budget = RetryBudget(
+            capacity=0.0, refill_per_s=0.0, clock=clock2, observer=obs
+        )
+        transport2 = SimShardTransport(
+            clock2, lambda task, lane: 0.6 if lane == "primary" else 0.02
+        )
+        supervise_shards(
+            transport2, [{"shard": 0}],
+            clock=clock2, policy=HedgePolicy(), retry_budget=budget,
+            observer=obs,
+        )
+        reg = obs.registry
+        assert reg.get("repro_pool_shard_timeouts_total").value() == 1
+        assert reg.get("repro_hedge_denied_total").value() == 1
+        assert (
+            reg.get("repro_overload_retry_denials_total").value(kind="hedge")
+            == 1
+        )
