@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-slow test-pool test-service test-hedge soak chaos verify-chaos serve bench stats reproduce reproduce-tiny report examples clean
+.PHONY: install test test-slow test-pool test-service test-hedge test-kernels soak chaos verify-chaos serve bench stats reproduce reproduce-tiny report examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -49,6 +49,12 @@ test-service:
 # the breaker/resilient chain (docs/robustness.md).
 test-hedge:
 	$(PYTHON) -m pytest tests/parallel/test_pool_stall_chaos.py -q -m hedge
+
+# Scatter-min kernel suites: property/bit-identity checks for every
+# implementation plus the cross-kernel differential slice (all methods,
+# all batch solvers, answers byte-equal to the ufunc_at reference).
+test-kernels:
+	$(PYTHON) -m pytest tests/kernels/ -q
 
 # Deterministic soak harness: N seeded clients, a 2-worker pool,
 # injected worker SIGKILLs, and clock-driven deadline expiry.  Zero

@@ -123,7 +123,11 @@ def ppsp(
 
     ``astar``/``bidastar`` need vertex coordinates on the graph (or
     explicit heuristics); all methods accept engine keywords
-    (``frontier_mode``, ``pull_relax``).
+    (``frontier_mode``, ``pull_relax``, ``kernel``).  ``kernel`` picks
+    the relaxation scatter-min implementation from
+    :mod:`repro.kernels` (``"ufunc_at"``, ``"sort_reduceat"``, or the
+    default size-dispatching ``"auto"``); the choice changes speed,
+    never answers.
 
     ``budget`` (a :class:`repro.robustness.Budget`) bounds the search;
     on exhaustion the answer degrades gracefully to the current upper
@@ -213,6 +217,9 @@ def batch_ppsp(graph, queries, *, method: str = "multi", **kwargs) -> BatchResul
 
     Endpoints are validated up front (``ValueError`` names the first
     offending vertex id); an empty batch returns an empty result.
+    Engine keywords ride through to every solver — ``kernel=`` picks
+    the scatter-min implementation (pass it as a string impl name when
+    combined with ``backend="process"``).
     """
     return solve_batch(graph, queries, method=method, **kwargs)
 
@@ -224,7 +231,7 @@ def warm(graph, **kwargs):
     answers, but repeated queries reuse pooled ``(k, n)`` buffers,
     cached heuristic rows, and an LRU result cache.  Keyword arguments
     are forwarded to :class:`~repro.perf.warm.WarmEngine` (cache sizes,
-    ``landmarks=``, a shared ``arena=``, ...).
+    ``landmarks=``, a shared ``arena=``, a pinned ``kernel=``, ...).
     """
     from .perf.warm import WarmEngine  # lazy: perf imports this module
 

@@ -25,6 +25,7 @@ import math
 import numpy as np
 
 from ..heuristics.geometric import PointHeuristic
+from ..kernels.scatter import get_kernel
 from ..parallel.cost_model import WorkDepthMeter
 from ..parallel.primitives import expand_ranges
 
@@ -40,11 +41,14 @@ def graphit_ppsp(
     use_astar: bool = False,
     meter: WorkDepthMeter | None = None,
     max_buckets: int = 1 << 22,
+    kernel=None,
 ) -> float:
     """GI-ET (``use_astar=False``) or GI-A* distance query.
 
     ``delta`` is the bucket width (tuned per graph, as in the paper's
-    experiments).  Returns the exact s-t distance.
+    experiments).  Returns the exact s-t distance.  ``kernel`` selects
+    the scatter-min implementation (:mod:`repro.kernels`), so baseline
+    timings ride the same inner loop as the engine.
     """
     n = graph.num_vertices
     if not (0 <= source < n and 0 <= target < n):
@@ -60,6 +64,8 @@ def graphit_ppsp(
         h = PointHeuristic(graph.coords, target, graph.coord_system)
 
     indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    kern = get_kernel(kernel)
+    degs = graph.out_degrees()
     dist = np.full(n, np.inf)
     dist[source] = 0.0
     mu = np.inf
@@ -101,7 +107,7 @@ def graphit_ppsp(
         # NOTE: no dedup here — duplicates relax redundantly, as in lazy
         # bucketing.
         starts = indptr[batch]
-        counts = indptr[batch + 1] - starts
+        counts = degs[batch]
         edge_idx = expand_ranges(starts, counts)
         step_work += float(len(edge_idx))
         if len(edge_idx):
@@ -110,13 +116,13 @@ def graphit_ppsp(
             before = dist[tgt]
             improving = nd < before
             if improving.any():
-                np.minimum.at(dist, tgt[improving], nd[improving])
+                # One fused scatter-min: the write and the deduplicated
+                # improving-target set (a vertex may still live in
+                # several buckets at once — lazy bucket update — so
+                # stale copies are filtered at pop time).
+                tgt_i = kern.scatter_min(dist, tgt[improving], nd[improving])
                 if dist[target] < mu:
                     mu = float(dist[target])
-                # Dedup within the batch, but a vertex may still live in
-                # several buckets at once (lazy bucket update): stale
-                # copies are filtered at pop time.
-                tgt_i = np.unique(tgt[improving])
                 prio_i = dist[tgt_i] + h(tgt_i) if h is not None else dist[tgt_i]
                 if h is not None:
                     step_work += len(tgt_i)

@@ -25,6 +25,7 @@ import heapq
 import numpy as np
 
 from ..heuristics.geometric import PointHeuristic
+from ..kernels.scatter import get_kernel
 from ..parallel.cost_model import WorkDepthMeter
 from ..parallel.primitives import expand_ranges
 
@@ -41,12 +42,15 @@ def mbq_ppsp(
     bucket_shift: int = 0,
     priority_scale: float = 1.0,
     meter: WorkDepthMeter | None = None,
+    kernel=None,
 ) -> float:
     """MBQ-ET (``use_astar=False``) or MBQ-A* distance query.
 
     Distances are multiplied by ``priority_scale`` and rounded to int
     for scheduling (answers are still computed on the true floats);
     ``bucket_shift`` coarsens priorities as MBQ's bucket mapping does.
+    ``kernel`` selects the scatter-min implementation
+    (:mod:`repro.kernels`).
     """
     n = graph.num_vertices
     if not (0 <= source < n and 0 <= target < n):
@@ -62,6 +66,8 @@ def mbq_ppsp(
         h = PointHeuristic(graph.coords, target, graph.coord_system)
 
     indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    kern = get_kernel(kernel)
+    degs = graph.out_degrees()
     dist = np.full(n, np.inf)
     dist[source] = 0.0
     mu = np.inf
@@ -96,7 +102,7 @@ def mbq_ppsp(
             meter.record_step(step_work)
             continue
         starts = indptr[verts]
-        counts = indptr[verts + 1] - starts
+        counts = degs[verts]
         edge_idx = expand_ranges(starts, counts)
         step_work += float(len(edge_idx))
         if len(edge_idx):
@@ -104,11 +110,10 @@ def mbq_ppsp(
             nd = np.repeat(dist[verts], counts) + weights[edge_idx]
             improving = nd < dist[tgt]
             if improving.any():
-                tgt_i = tgt[improving]
-                np.minimum.at(dist, tgt_i, nd[improving])
+                # Fused write + dedup, same kernel as the engine.
+                tgt_u = kern.scatter_min(dist, tgt[improving], nd[improving])
                 if dist[target] < mu:
                     mu = float(dist[target])
-                tgt_u = np.unique(tgt_i)
                 prios = int_priority(tgt_u)
                 if h is not None:
                     step_work += len(tgt_u)

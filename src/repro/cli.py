@@ -94,9 +94,10 @@ def _cmd_query(args) -> int:
             raise SystemExit("--budget is serial-only; drop --backend process")
         from .core.batch import solve_batch
 
+        kernel_kw = {"kernel": args.kernel} if args.kernel else {}
         res = solve_batch(
             graph, [(args.source, args.target)], method="plain-bids",
-            backend="process", workers=args.workers,
+            backend="process", workers=args.workers, **kernel_kw,
         )
         dist = res.distances[(args.source, args.target)]
         payload = {
@@ -119,8 +120,10 @@ def _cmd_query(args) -> int:
     if args.resilient:
         from .robustness.resilient import resilient_ppsp
 
+        kernel_kw = {"kernel": args.kernel} if args.kernel else {}
         res = resilient_ppsp(
-            graph, args.source, args.target, budget=budget, checked=args.checked
+            graph, args.source, args.target, budget=budget,
+            checked=args.checked, **kernel_kw,
         )
         payload = {
             "source": res.source,
@@ -137,9 +140,10 @@ def _cmd_query(args) -> int:
         }
         print(json.dumps(payload, indent=2))
         return 0
+    kernel_kw = {"kernel": args.kernel} if args.kernel else {}
     ans = ppsp(
         graph, args.source, args.target, method=args.method,
-        budget=budget, checked=args.checked, trace=trace,
+        budget=budget, checked=args.checked, trace=trace, **kernel_kw,
     )
     payload = {
         "source": ans.source,
@@ -206,6 +210,7 @@ def _cmd_bench(args) -> int:
         wall_tolerance=args.wall_tolerance,
         check=args.check,
         backend=args.backend,
+        kernel=args.kernel,
     )
     print(json.dumps(
         {
@@ -240,6 +245,8 @@ def _cmd_batch(args) -> int:
         kwargs["backend"] = args.backend
         if args.workers is not None:
             kwargs["workers"] = args.workers
+    if args.kernel:
+        kwargs["kernel"] = args.kernel
     res = batch_ppsp(graph, pairs, method=args.method, **kwargs)
     payload = {
         "method": res.method,
@@ -572,6 +579,8 @@ def _cmd_stats(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .kernels.scatter import KERNEL_IMPLS
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -595,6 +604,9 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--backend", default="serial", choices=("serial", "process"),
                    help="process: route through the multi-process pool "
                         "(one-pair plain-bids batch; serial-only flags rejected)")
+    q.add_argument("--kernel", choices=KERNEL_IMPLS,
+                   help="relaxation scatter-min implementation "
+                        "(default: auto dispatch; REPRO_KERNEL overrides)")
     q.add_argument("--workers", type=int,
                    help="pool size for --backend process (default: cpu count)")
     q.add_argument("--verbose", action="store_true",
@@ -612,6 +624,9 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--backend", default="serial", choices=("serial", "process"),
                    help="process: shard the batch across a process pool "
                         "(bit-identical answers; incompatible with --budget)")
+    b.add_argument("--kernel", choices=KERNEL_IMPLS,
+                   help="relaxation scatter-min implementation "
+                        "(default: auto dispatch; REPRO_KERNEL overrides)")
     b.add_argument("--workers", type=int,
                    help="pool size for --backend process (default: cpu count)")
     b.add_argument("--checked", action="store_true",
@@ -796,6 +811,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--backend", default="serial", choices=("serial", "process"),
                        help="process: additionally measure the process-pool "
                              "backend (extra 'pool' section; never gated)")
+    bench.add_argument("--kernel", choices=KERNEL_IMPLS,
+                       help="pin the scatter-min kernel for the whole workload "
+                            "(default: auto dispatch)")
     bench.add_argument("--check", action="store_true",
                        help="exit nonzero when the tolerance gate fails")
     bench.set_defaults(func=_cmd_bench)

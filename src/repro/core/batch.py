@@ -227,6 +227,12 @@ def solve_batch(
     hedged re-execution, budget-gated backups (see
     :mod:`repro.serve.hedging`).  Because shards are deterministic,
     hedged answers stay bit-identical to serial.  Process backend only.
+
+    Remaining keyword arguments flow into every engine run this batch
+    launches (all five solvers) — notably ``kernel=`` selects the
+    scatter-min implementation (:mod:`repro.kernels`); with
+    ``backend="process"`` pass it as a string impl name so it ships to
+    the workers.  Kernel choice never changes answers.
     """
     if method not in BATCH_METHODS:
         raise ValueError(f"unknown batch method {method!r}; options: {BATCH_METHODS}")

@@ -34,6 +34,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..kernels.relax import gather_relax
+from ..kernels.scatter import get_kernel
 from ..parallel.cost_model import WorkDepthMeter
 from ..parallel.primitives import expand_ranges
 from .frontier import Frontier
@@ -130,6 +132,13 @@ class PPSPEngine:
         relaxed *all* its out-edges, so ``dist[v] <= snapshot[u] + w``
         must hold at termination.  Off by default — the extra ``(k*n,)``
         buffer and per-step scatter stay out of the hot path.
+    kernel : str, Kernel, or None
+        Scatter-min implementation for the relaxation inner loop
+        (:mod:`repro.kernels`): ``"ufunc_at"``, ``"sort_reduceat"``, or
+        ``"auto"`` (the default — per-batch dispatch on a calibrated
+        size threshold).  ``None`` resolves through the ``REPRO_KERNEL``
+        environment variable.  Every implementation is bit-identical;
+        pin one for debugging or benchmarking.
     """
 
     def __init__(
@@ -146,6 +155,7 @@ class PPSPEngine:
         arena=None,
         observer=None,
         track_processed: bool = False,
+        kernel=None,
     ) -> None:
         self.graph = graph
         self.strategy = strategy if strategy is not None else default_strategy(graph)
@@ -158,6 +168,7 @@ class PPSPEngine:
         self.arena = arena
         self.observer = observer
         self.track_processed = track_processed
+        self.kernel = get_kernel(kernel)
 
     # ------------------------------------------------------------------
     def run(
@@ -241,8 +252,13 @@ class PPSPEngine:
             prio = policy.priority(current, dist)
             theta = self.strategy.threshold(prio)
             take = prio <= theta
-            process = current[take]
-            deferred = current[~take]
+            if take.all():
+                # Whole-frontier steps (Bellman-Ford strategy, bucket
+                # tails) skip the two fancy-index copies.
+                process, deferred = current, empty
+            else:
+                process = current[take]
+                deferred = current[~take]
             extracted_count = len(process)
 
             # Prune both halves: processed elements that cannot contribute
@@ -294,7 +310,13 @@ class PPSPEngine:
                         changed_all.append(changed)
 
                 if changed_all:
-                    changed = np.unique(np.concatenate(changed_all))
+                    # scatter_min returns sorted unique ids, so the
+                    # single-group case (all undirected searches) skips
+                    # the extra unique sort entirely.
+                    if len(changed_all) == 1:
+                        changed = changed_all[0]
+                    else:
+                        changed = np.unique(np.concatenate(changed_all))
                     improved_count = len(changed)
                     step_work += float(improved_count)
                     policy.on_relax(changed, dist)
@@ -348,6 +370,9 @@ class PPSPEngine:
             processed_dist=pdist.reshape(k, n) if pdist is not None else None,
         )
         if observer is not None:
+            kernel_stats = self.kernel.take_stats()
+            if kernel_stats:
+                observer.on_kernel(kernel_stats)
             observer.end_run(result, trace)
         return result
 
@@ -360,31 +385,26 @@ class PPSPEngine:
         Returns the composite ids whose tentative distance strictly
         improved, plus the number of edges touched.
         """
-        indptr, indices, weights = graph.indptr, graph.indices, graph.weights
         v = eids % n
         src_off = eids - v  # i * n per element
 
         if self.pull_relax:
             self._pull_relax(graph, eids, v, src_off, dist)
 
-        starts = indptr[v]
-        counts = indptr[v + 1] - starts
-        edge_idx = expand_ranges(starts, counts)
-        if len(edge_idx) == 0:
+        te, new_d, edge_count = gather_relax(
+            graph, eids, v, src_off, dist, scratch=self.kernel.scratch
+        )
+        if edge_count == 0:
             return np.empty(0, dtype=np.int64), 0
-        targets = indices[edge_idx].astype(np.int64)
-        new_d = np.repeat(dist[eids], counts) + weights[edge_idx]
-        te = np.repeat(src_off, counts) + targets
 
         before = dist[te]
         improving = new_d < before
         if not improving.any():
-            return np.empty(0, dtype=np.int64), len(edge_idx)
-        te_imp = te[improving]
-        np.minimum.at(dist, te_imp, new_d[improving])
+            return np.empty(0, dtype=np.int64), edge_count
         # Every unique improving target strictly changed: its final value
         # is <= the smallest proposal, which was < the pre-batch value.
-        return np.unique(te_imp), len(edge_idx)
+        changed = self.kernel.scatter_min(dist, te[improving], new_d[improving])
+        return changed, edge_count
 
     def _pull_relax(
         self,
@@ -397,7 +417,7 @@ class PPSPEngine:
         """Bidirectional relaxation (App. B): tighten δ[u] from in-neighbors."""
         rev = graph if not graph.directed else graph.reverse()
         starts = rev.indptr[v]
-        counts = (rev.indptr[v + 1] - starts).astype(np.int64)
+        counts = rev.out_degrees()[v]
         has = counts > 0
         if not has.any():
             return
@@ -409,7 +429,7 @@ class PPSPEngine:
         ends = np.cumsum(counts[has])
         seg_starts = np.concatenate([[0], ends[:-1]])
         mins = np.minimum.reduceat(cand, seg_starts)
-        np.minimum.at(dist, eids[has], mins)
+        self.kernel.scatter_min(dist, eids[has], mins)
 
 
 def _source_graph_groups(policy: "Policy", k: int):
@@ -452,6 +472,7 @@ def run_policy(
     observer=None,
     trace=None,
     track_processed: bool = False,
+    kernel=None,
 ) -> RunResult:
     """One-shot convenience wrapper around :class:`PPSPEngine`."""
     engine = PPSPEngine(
@@ -466,5 +487,6 @@ def run_policy(
         arena=arena,
         observer=observer,
         track_processed=track_processed,
+        kernel=kernel,
     )
     return engine.run(policy, meter=meter, trace=trace)

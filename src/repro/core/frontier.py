@@ -12,6 +12,11 @@ encoding vertex ``v`` searched from the ``i``-th source (the paper's
 
 ``mode="auto"`` switches per step on a size threshold, as the paper's
 sparse-dense optimization does.
+
+Dense mode maintains its cardinality incrementally (``_count``): the
+engine asks for ``len(frontier)`` several times per step (loop guard,
+switch hysteresis), and summing the whole membership array each time is
+an O(k·n) tax the add path can pay once, in O(batch).
 """
 
 from __future__ import annotations
@@ -40,6 +45,8 @@ class Frontier:
         self._observer = observer
         self._sparse: np.ndarray = np.empty(0, dtype=np.int64)
         self._dense: np.ndarray | None = None
+        #: dense-mode cardinality, updated incrementally by add/replace.
+        self._count = 0
         self._use_dense = mode == "dense"
         if self._use_dense:
             self._dense = self._new_dense()
@@ -65,7 +72,7 @@ class Frontier:
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         if self._use_dense:
-            return int(self._dense.sum())
+            return self._count
         return len(self._sparse)
 
     @property
@@ -85,11 +92,33 @@ class Frontier:
         if len(eids) == 0:
             return
         if self._use_dense:
-            self._dense[eids] = True
+            pre = self._dense[eids]
+            if not pre.all():
+                fresh = eids[~pre]
+                self._dense[fresh] = True
+                # The engine feeds sorted-unique batches; count them
+                # directly, falling back to a dedup for arbitrary input.
+                if len(fresh) == 1 or (np.diff(fresh) > 0).all():
+                    self._count += len(fresh)
+                else:
+                    self._count += len(np.unique(fresh))
         else:
-            # unique(concat) beats union1d (one sort pass, no per-input
-            # dedup) on the small hot batches the engine feeds us.
-            self._sparse = np.unique(np.concatenate([self._sparse, eids]))
+            sp = self._sparse
+            if len(eids) > 1 and not (np.diff(eids) > 0).all():
+                eids = np.unique(eids)
+            if len(sp) == 0:
+                self._sparse = eids.copy()
+            else:
+                # _sparse is always sorted-unique: a searchsorted merge
+                # inserts only the genuinely new ids in one O(n + b log n)
+                # pass, replacing the old full unique(concat) re-sort.
+                pos = np.searchsorted(sp, eids)
+                in_range = pos < len(sp)
+                present = np.zeros(len(eids), dtype=bool)
+                present[in_range] = sp[pos[in_range]] == eids[in_range]
+                if not present.all():
+                    new = ~present
+                    self._sparse = np.insert(sp, pos[new], eids[new])
         self._maybe_switch()
 
     def replace(self, eids: np.ndarray, *, assume_sorted: bool = False) -> None:
@@ -103,6 +132,7 @@ class Frontier:
         if self._use_dense:
             self._dense[:] = False
             self._dense[eids] = True
+            self._count = len(eids)
         else:
             self._sparse = eids if assume_sorted else np.sort(eids)
         self._maybe_switch()
@@ -137,6 +167,7 @@ class Frontier:
             self._dense = dense
             self._sparse = np.empty(0, dtype=np.int64)
             self._use_dense = True
+            self._count = size
             if self._observer is not None:
                 self._observer.on_frontier_switch(True, size)
         elif self._use_dense and size < self.SPARSE_FRACTION * self.capacity:

@@ -48,30 +48,18 @@ def tune_delta(graph, *, source: int | None = None, doublings: int = 10) -> floa
     """Pick Δ by the paper's doubling procedure (Sec. 6.1).
 
     Starting from a small Δ, run SSSP and double Δ until the running
-    time converges to its minimum; cached per graph identity.
+    time converges to its minimum.  The search itself lives in
+    :func:`repro.kernels.calibrate.calibrate_delta` (cached by graph
+    fingerprint and shared with :func:`repro.core.stepping.default_strategy`);
+    this wrapper keeps the historical per-name cache for experiment
+    scripts that rebuild identically-named graphs.
     """
     key = f"{graph.name}:{graph.num_vertices}:{graph.num_edges}"
     if key in _DELTA_CACHE:
         return _DELTA_CACHE[key]
-    if graph.num_edges == 0:
-        return 1.0
-    if source is None:
-        source = int(np.argmax(np.diff(graph.indptr)))  # a well-connected seed
-    delta = max(float(graph.weights.mean()) / 4.0, 1e-9)
-    best_delta, best_time = delta, float("inf")
-    stale = 0
-    for _ in range(doublings):
-        t0 = time.perf_counter()
-        run_policy(graph, SsspPolicy(source), strategy=DeltaStepping(delta))
-        elapsed = time.perf_counter() - t0
-        if elapsed < best_time * 0.97:
-            best_time, best_delta = elapsed, delta
-            stale = 0
-        else:
-            stale += 1
-            if stale >= 3:
-                break
-        delta *= 2.0
+    from ..kernels.calibrate import calibrate_delta
+
+    best_delta = calibrate_delta(graph, source=source, doublings=doublings)
     _DELTA_CACHE[key] = best_delta
     return best_delta
 

@@ -61,6 +61,8 @@ class Graph:
     _fingerprint: str | None = field(default=None, repr=False, compare=False)
     _edge_src: np.ndarray | None = field(default=None, repr=False, compare=False)
     _csr_lists: tuple | None = field(default=None, repr=False, compare=False)
+    _out_degrees: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _weight_stats: tuple | None = field(default=None, repr=False, compare=False)
     #: pass ``validate=False`` to skip construction checks — only for
     #: diagnostic loads (``repro info``/``validate_graph`` on corrupt files).
     validate: InitVar[bool] = True
@@ -116,11 +118,46 @@ class Graph:
         return len(self.indices)
 
     def degree(self, v: int | np.ndarray | None = None) -> np.ndarray | int:
-        """Out-degree of ``v``, or the full degree array when ``v`` is None."""
-        degs = np.diff(self.indptr)
+        """Out-degree of ``v``, or the full degree array when ``v`` is None.
+
+        Backed by the :meth:`out_degrees` cache; the ``v is None`` form
+        returns the cached array itself — do not mutate.
+        """
+        degs = self.out_degrees()
         if v is None:
             return degs
         return degs[v]
+
+    def out_degrees(self) -> np.ndarray:
+        """The full out-degree array ``diff(indptr)`` (cached).
+
+        The engine's relaxation gather and the pool's shard cost
+        estimators read per-vertex degrees every step/plan; caching
+        removes the twice-per-step ``indptr[v+1] - indptr[v]`` gathers.
+        A view of the cache: do not mutate.  Same frozen-graph contract
+        as :meth:`fingerprint`.  A directed graph's transpose caches its
+        own in-degree array (``graph.reverse().out_degrees()``).
+        """
+        if self._out_degrees is None:
+            self._out_degrees = np.diff(self.indptr)
+        return self._out_degrees
+
+    def weight_stats(self) -> tuple[float, float]:
+        """``(mean, std)`` of the edge weights (cached; ``(0, 0)`` if empty).
+
+        Two O(m) reductions paid once per graph: ``default_strategy``
+        derives its Δ guess from the mean and uses the dispersion to
+        decide whether the static guess is trustworthy.
+        """
+        if self._weight_stats is None:
+            if len(self.weights) == 0:
+                self._weight_stats = (0.0, 0.0)
+            else:
+                self._weight_stats = (
+                    float(self.weights.mean()),
+                    float(self.weights.std()),
+                )
+        return self._weight_stats
 
     def neighbors(self, v: int) -> np.ndarray:
         """Neighbor ids of vertex ``v`` (a view, do not mutate)."""
@@ -144,7 +181,7 @@ class Graph:
         """
         if self._edge_src is None:
             self._edge_src = np.repeat(
-                np.arange(self.num_vertices, dtype=VERTEX_DTYPE), np.diff(self.indptr)
+                np.arange(self.num_vertices, dtype=VERTEX_DTYPE), self.out_degrees()
             )
         return self._edge_src
 

@@ -1,0 +1,213 @@
+"""Scatter-min kernels: the ``write_min`` inner loop of every relaxation.
+
+A relaxation wave ends with a batched *scatter-min*: lower
+``dist[targets]`` to ``values`` where several proposals may hit the same
+target, then hand the set of touched targets back to the engine so it can
+test which ones actually improved.  Three interchangeable implementations
+answer that contract, all bit-identical (float64 ``min`` is exact,
+order-independent, and the library admits no NaN weights and no negative
+distances, so there is no ``-0.0``/NaN tie to break):
+
+``ufunc_at``
+    ``np.minimum.at`` — the unbuffered ufunc loop (the original engine
+    behavior, kept as the reference).  No setup cost, but the inner loop
+    runs element-at-a-time in C with full ufunc dispatch per element,
+    which dominates the profile on large waves.
+``sort_reduceat``
+    argsort the targets, take per-segment minima with
+    ``np.minimum.reduceat``, and apply them with one vectorized
+    ``np.minimum`` write.  One O(k log k) sort buys fully vectorized
+    segment reduction — and the sorted unique target array the engine
+    needs next comes out for free (the ``ufunc_at`` path pays a second
+    sort inside ``np.unique``).
+``auto``
+    per-call dispatch between the two on batch size: small waves keep
+    the setup-free ufunc loop, large waves take the sort.  The crossover
+    is measured once per process by a seeded calibration microbenchmark
+    (:func:`repro.kernels.calibrate.scatter_threshold`), overridable via
+    ``REPRO_KERNEL_THRESHOLD``.
+
+The returned array is the **sorted, deduplicated** target ids — exactly
+``np.unique(targets)`` — which is the engine's changed-candidate set.
+
+Kernels are small stateful objects (one per engine): they carry the
+scratch-buffer pool used by :func:`repro.kernels.relax.gather_relax` and
+per-implementation invocation/element/dispatch counters that the engine
+folds into :mod:`repro.obs` metrics at run end.  Select one with the
+``kernel=`` engine argument, the ``REPRO_KERNEL`` environment variable,
+or the ``--kernel`` CLI flag; see ``docs/perf.md``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["KERNEL_IMPLS", "Kernel", "ScratchPool", "get_kernel"]
+
+#: selectable implementation names (``auto`` dispatches between the rest).
+KERNEL_IMPLS = ("ufunc_at", "sort_reduceat", "auto")
+#: the concrete (non-dispatching) implementations.
+CONCRETE_IMPLS = ("ufunc_at", "sort_reduceat")
+
+_EMPTY_I8 = np.empty(0, dtype=np.int64)
+
+
+def _scatter_ufunc_at(dist: np.ndarray, targets: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Reference scatter-min: unbuffered ``np.minimum.at``."""
+    if len(targets) == 0:
+        return _EMPTY_I8
+    np.minimum.at(dist, targets, values)
+    return np.unique(targets)
+
+
+def _scatter_sort_reduceat(
+    dist: np.ndarray, targets: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Segmented scatter-min: argsort + ``minimum.reduceat`` + one write."""
+    k = len(targets)
+    if k == 0:
+        return _EMPTY_I8
+    if k == 1:
+        t = targets[:1].astype(np.int64, copy=True)
+        np.minimum.at(dist, t, values)
+        return t
+    order = np.argsort(targets)
+    st = targets[order]
+    sv = values[order]
+    # Segment starts: position 0 plus every index where the target changes.
+    seg_starts = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.flatnonzero(st[1:] != st[:-1]) + 1)
+    )
+    mins = np.minimum.reduceat(sv, seg_starts)
+    uniq = st[seg_starts]
+    dist[uniq] = np.minimum(dist[uniq], mins)
+    return uniq
+
+
+_IMPL_FNS = {
+    "ufunc_at": _scatter_ufunc_at,
+    "sort_reduceat": _scatter_sort_reduceat,
+}
+
+
+class ScratchPool:
+    """Reusable scratch buffers keyed by ``(tag, dtype)``.
+
+    Relaxation waves vary in size step to step, so the exact-shape free
+    lists of :class:`repro.perf.BufferArena` would miss on almost every
+    lease.  This pool instead keeps one power-of-two-capacity buffer per
+    ``(tag, dtype)`` slot and hands out length-``size`` views — the
+    steady state performs zero allocations once the high-water mark is
+    reached.  Views are valid only until the same tag is taken again;
+    callers must consume them within the step (the engine does).
+    """
+
+    __slots__ = ("_bufs",)
+
+    #: never allocate below this capacity — avoids regrow churn on the
+    #: small waves that open and close every search.
+    MIN_CAPACITY = 1024
+
+    def __init__(self) -> None:
+        self._bufs: dict[tuple[str, str], np.ndarray] = {}
+
+    def take(self, tag: str, size: int, dtype) -> np.ndarray:
+        """A length-``size`` view of the pooled buffer for ``tag``."""
+        key = (tag, np.dtype(dtype).str)
+        buf = self._bufs.get(key)
+        if buf is None or buf.shape[0] < size:
+            cap = self.MIN_CAPACITY
+            while cap < size:
+                cap <<= 1
+            buf = np.empty(cap, dtype=dtype)
+            self._bufs[key] = buf
+        return buf[:size]
+
+    def nbytes(self) -> int:
+        """Total bytes currently pooled (diagnostics)."""
+        return sum(b.nbytes for b in self._bufs.values())
+
+
+class Kernel:
+    """One configured scatter-min kernel with per-impl counters.
+
+    Engines create one kernel each (via :func:`get_kernel`), so the
+    counters are engine-local — no cross-thread sharing even when a
+    query service runs several engines concurrently.  ``take_stats``
+    snapshots and resets the counters; the engine calls it at run end to
+    fold them into observer metrics.
+    """
+
+    __slots__ = ("impl", "scratch", "_threshold", "_calls", "_elements", "_dispatch")
+
+    def __init__(self, impl: str = "auto", *, threshold: int | None = None) -> None:
+        if impl not in KERNEL_IMPLS:
+            raise ValueError(
+                f"unknown kernel impl {impl!r}; options: {KERNEL_IMPLS}"
+            )
+        self.impl = impl
+        self.scratch = ScratchPool()
+        self._threshold = threshold
+        self._calls = {name: 0 for name in CONCRETE_IMPLS}
+        self._elements = {name: 0 for name in CONCRETE_IMPLS}
+        self._dispatch = {name: 0 for name in CONCRETE_IMPLS}
+
+    # ------------------------------------------------------------------
+    @property
+    def threshold(self) -> int:
+        """Auto-dispatch crossover batch size (calibrated lazily)."""
+        if self._threshold is None:
+            from .calibrate import scatter_threshold
+
+            self._threshold = scatter_threshold()
+        return self._threshold
+
+    def scatter_min(
+        self, dist: np.ndarray, targets: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Lower ``dist[targets]`` to ``values``; return sorted unique targets."""
+        impl = self.impl
+        if impl == "auto":
+            impl = "sort_reduceat" if len(targets) >= self.threshold else "ufunc_at"
+            self._dispatch[impl] += 1
+        self._calls[impl] += 1
+        self._elements[impl] += len(targets)
+        return _IMPL_FNS[impl](dist, targets, values)
+
+    # ------------------------------------------------------------------
+    def take_stats(self) -> dict[str, dict[str, int]]:
+        """Snapshot and reset the per-impl counters.
+
+        Returns ``{impl: {"calls": c, "elements": e, "dispatched": d}}``
+        for impls with activity; ``dispatched`` counts auto-mode
+        decisions that picked the impl (0 when the impl was pinned).
+        """
+        out: dict[str, dict[str, int]] = {}
+        for name in CONCRETE_IMPLS:
+            if self._calls[name] or self._dispatch[name]:
+                out[name] = {
+                    "calls": self._calls[name],
+                    "elements": self._elements[name],
+                    "dispatched": self._dispatch[name],
+                }
+                self._calls[name] = 0
+                self._elements[name] = 0
+                self._dispatch[name] = 0
+        return out
+
+
+def get_kernel(spec: "str | Kernel | None" = None) -> Kernel:
+    """Resolve a kernel spec to a fresh :class:`Kernel` instance.
+
+    ``None`` resolves through the ``REPRO_KERNEL`` environment variable,
+    defaulting to ``"auto"``; a string names an implementation; an
+    existing :class:`Kernel` passes through unchanged (sharing its
+    counters and scratch with the caller).
+    """
+    if isinstance(spec, Kernel):
+        return spec
+    if spec is None:
+        spec = os.environ.get("REPRO_KERNEL") or "auto"
+    return Kernel(spec)

@@ -234,6 +234,18 @@ class Observer:
             "repro_overload_retry_denials_total",
             "Retry-budget denials by kind (hedge / retry)",
             ("kind",))
+        self._kernel_calls = r.counter(
+            "repro_kernel_invocations_total",
+            "scatter_min kernel invocations by concrete implementation",
+            ("impl",))
+        self._kernel_elements = r.counter(
+            "repro_kernel_elements_total",
+            "Elements scattered through each kernel implementation",
+            ("impl",))
+        self._kernel_dispatch = r.counter(
+            "repro_kernel_dispatch_total",
+            "Auto-dispatch decisions routed to each implementation",
+            ("impl",))
 
     # ------------------------------------------------------------------
     # Spans
@@ -297,6 +309,21 @@ class Observer:
     def on_frontier_switch(self, to_dense: bool, size: int) -> None:
         """Frontier hook: one sparse<->dense representation switch."""
         self._frontier_switches.inc(to="dense" if to_dense else "sparse")
+
+    def on_kernel(self, stats: dict) -> None:
+        """Kernel hook: fold one run's scatter-min tallies into counters.
+
+        ``stats`` maps a concrete impl name to its ``{"calls", "elements",
+        "dispatched"}`` totals, as returned by
+        :meth:`repro.kernels.scatter.Kernel.take_stats`.
+        """
+        for impl, s in stats.items():
+            if s.get("calls"):
+                self._kernel_calls.inc(s["calls"], impl=impl)
+            if s.get("elements"):
+                self._kernel_elements.inc(s["elements"], impl=impl)
+            if s.get("dispatched"):
+                self._kernel_dispatch.inc(s["dispatched"], impl=impl)
 
     # ------------------------------------------------------------------
     # Batch / cache / fallback hooks

@@ -22,6 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 __all__ = [
     "WorkDepthMeter",
     "simulated_time",
@@ -29,6 +31,7 @@ __all__ = [
     "estimate_sssp_work",
     "estimate_bids_work",
     "estimate_multi_work",
+    "estimate_endpoint_work",
     "balance_shards",
 ]
 
@@ -151,6 +154,23 @@ def estimate_multi_work(component_vertices: int, num_vertices: int, num_edges: i
     concurrently, each pruned like one half of a bidirectional search.
     """
     return max(int(component_vertices), 1) * estimate_bids_work(num_vertices, num_edges)
+
+
+def estimate_endpoint_work(graph, vertices) -> float:
+    """Degree-aware tilt for a unit rooted at ``vertices``.
+
+    The flat ``(n, m)`` estimates above give every unit of a method the
+    same cost, so shard packing degenerates to round-robin.  The sum of
+    the root vertices' out-degrees — read from the graph's cached
+    :meth:`~repro.graphs.csr.Graph.out_degrees` array, O(|vertices|)
+    per call with no per-call ``indptr`` gathers — is the first
+    relaxation waves' edge work: a cheap, deterministic discriminator
+    between hub-rooted and leaf-rooted searches.
+    """
+    idx = np.asarray(vertices, dtype=np.int64)
+    if len(idx) == 0:
+        return 0.0
+    return float(graph.out_degrees()[idx].sum())
 
 
 def balance_shards(costs: list[float], num_shards: int) -> list[list[int]]:

@@ -54,6 +54,7 @@ from .cost_model import (
     WorkDepthMeter,
     balance_shards,
     estimate_bids_work,
+    estimate_endpoint_work,
     estimate_multi_work,
     estimate_sssp_work,
 )
@@ -65,7 +66,7 @@ logger = logging.getLogger("repro.pool")
 #: engine kwargs that are safe to ship to workers: pure per-run knobs
 #: with no cross-run or parent-side state.
 _SHIPPABLE_ENGINE_KWARGS = frozenset(
-    {"frontier_mode", "pull_relax", "max_steps", "track_processed"}
+    {"frontier_mode", "pull_relax", "max_steps", "track_processed", "kernel"}
 )
 
 #: FaultInjector knobs that act inside an engine run.  An injector's
@@ -698,6 +699,12 @@ def solve_batch_process(
             f"engine kwargs {sorted(unsupported)} are not supported by "
             f"backend='process'; shippable: {sorted(_SHIPPABLE_ENGINE_KWARGS)}"
         )
+    if not isinstance(engine_kwargs.get("kernel"), (str, type(None))):
+        raise ValueError(
+            "backend='process' ships the kernel selection by name; pass "
+            "kernel as a string impl (e.g. 'sort_reduceat'), not a Kernel "
+            "instance — workers build their own"
+        )
 
     own_pool = pool is None
     if own_pool:
@@ -768,13 +775,20 @@ def _plan_units(graph, qg: QueryGraph, method: str):
         units = [
             {"index": k, "pairs": sub.original_pairs} for k, sub in enumerate(comps)
         ]
-        costs = [estimate_multi_work(sub.num_vertices, n, m) for sub in comps]
+        costs = [
+            estimate_multi_work(sub.num_vertices, n, m)
+            + estimate_endpoint_work(graph, sub.vertices)
+            for sub in comps
+        ]
         return units, costs, {}
     if method in ("plain-bids", "plain-star-bids"):
         units = []
         for pos, (i, j) in enumerate(qg.edges):
             units.append({"index": pos, "s": int(verts[i]), "t": int(verts[j])})
-        costs = [estimate_bids_work(n, m)] * len(units)
+        base = estimate_bids_work(n, m)
+        costs = [
+            base + estimate_endpoint_work(graph, [u["s"], u["t"]]) for u in units
+        ]
         return units, costs, {}
     # SSSP methods: one unit per covering source, carrying its queries.
     if method == "sssp-plain":
@@ -813,7 +827,8 @@ def _plan_units(graph, qg: QueryGraph, method: str):
                 "pairs": pairs_by_source[qi],
             }
         )
-    costs = [estimate_sssp_work(n, m)] * len(units)
+    base = estimate_sssp_work(n, m)
+    costs = [base + estimate_endpoint_work(graph, [u["v"]]) for u in units]
     return units, costs, {"covered": covered, "self_pairs": self_pairs}
 
 

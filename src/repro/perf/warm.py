@@ -119,6 +119,11 @@ class WarmEngine:
         defaults to the engine's Δ*-stepping default.
     frontier_mode, pull_relax :
         Fixed engine configuration for every query.
+    kernel : str or None
+        Scatter-min kernel for every engine run (:mod:`repro.kernels`);
+        ``None`` resolves via ``REPRO_KERNEL`` then ``"auto"``.  All
+        kernels are bit-identical, so warm answers (and the result
+        cache) are unaffected by the choice.
     observer : repro.obs.Observer, optional
         Default-off observability hook.  When attached, every engine run
         reports work/depth/steps, the result and heuristic caches emit
@@ -153,6 +158,7 @@ class WarmEngine:
         strategy_factory=None,
         frontier_mode: str = "auto",
         pull_relax: bool = False,
+        kernel=None,
         observer=None,
         verify_hits: bool = False,
         checker=None,
@@ -169,6 +175,7 @@ class WarmEngine:
         self._strategy_factory = strategy_factory
         self._frontier_mode = frontier_mode
         self._pull_relax = pull_relax
+        self._kernel = kernel
         self.verify_hits = bool(verify_hits)
         self.fault_injector = fault_injector
         self._checker = checker
@@ -189,6 +196,7 @@ class WarmEngine:
             strategy=strategy,
             frontier_mode=self._frontier_mode,
             pull_relax=self._pull_relax,
+            kernel=self._kernel,
             arena=self.arena,
             observer=self.observer,
             track_processed=self.verify_hits,
@@ -401,6 +409,8 @@ class WarmEngine:
         self.batches += 1
         if self.observer is not None and "observer" not in kwargs:
             kwargs = {**kwargs, "observer": self.observer}
+        if self._kernel is not None:
+            kwargs.setdefault("kernel", self._kernel)
         if self.verify_hits:
             # Certified folds: later verified hits need evidence.
             kwargs.setdefault("certify", True)

@@ -113,3 +113,61 @@ class TestModes:
             ed = fd.extract(lambda e: e.astype(float), thr)
             assert np.array_equal(np.sort(es), np.sort(ed))
         assert np.array_equal(fs.ids(), fd.ids())
+
+
+class TestIncrementalCount:
+    """len() must track true cardinality through every mutation path."""
+
+    def test_dense_count_matches_flags_under_random_ops(self):
+        rng = np.random.default_rng(7)
+        f = Frontier(300, mode="dense")
+        for _ in range(50):
+            op = rng.integers(0, 3)
+            if op == 0:
+                # Unsorted batch with duplicates — the dedup fallback.
+                f.add(rng.integers(0, 300, size=int(rng.integers(1, 40))))
+            elif op == 1:
+                # Sorted-unique batch — the fast counting path.
+                f.add(np.unique(rng.integers(0, 300, size=10)))
+            else:
+                f.extract(lambda e: e.astype(float), float(rng.uniform(0, 300)))
+            assert len(f) == len(f.ids())
+
+    def test_dense_count_overlapping_adds(self):
+        f = Frontier(50, mode="dense")
+        f.add(ids(1, 2, 3))
+        f.add(ids(2, 3, 4))  # two already present
+        assert len(f) == 4
+        f.add(ids(4, 4, 4))  # duplicate-only batch, nothing new
+        assert len(f) == 4
+        f.add(ids(9, 7, 7, 1))  # unsorted with dups, one genuinely new x2
+        assert len(f) == 6
+
+    def test_sparse_merge_matches_unique_concat(self):
+        rng = np.random.default_rng(11)
+        f = Frontier(10_000, mode="sparse")
+        reference = np.empty(0, dtype=np.int64)
+        for _ in range(30):
+            batch = rng.integers(0, 10_000, size=int(rng.integers(1, 50)))
+            f.add(batch)
+            reference = np.unique(np.concatenate([reference, batch]))
+            assert np.array_equal(f.ids(), reference)
+
+    def test_sparse_add_beyond_current_max(self):
+        """Insertions past the end (searchsorted pos == len) must work."""
+        f = Frontier(100, mode="sparse")
+        f.add(ids(1, 2, 3))
+        f.add(ids(50, 99))
+        assert list(f.ids()) == [1, 2, 3, 50, 99]
+
+    def test_count_survives_mode_switches(self):
+        f = Frontier(100, mode="auto")
+        f.add(np.arange(0, 20))  # forces dense
+        assert f.is_dense and len(f) == 20
+        f.add(np.arange(10, 30))  # half overlap
+        assert len(f) == 30
+        f.replace(ids(1))  # 1% < 2% hysteresis floor: back to sparse
+        assert not f.is_dense and len(f) == 1
+        f.add(np.arange(50))  # dense again
+        assert f.is_dense
+        assert len(f) == len(f.ids()) == 50

@@ -1,0 +1,111 @@
+"""Calibration layer: thresholds, Δ doubling, and the strategy trigger."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stepping import CALIBRATE_CV_THRESHOLD, DeltaStepping, default_strategy
+from repro.graphs import build_graph, road_graph
+from repro.kernels import calibrate
+from repro.kernels.calibrate import (
+    DEFAULT_SCATTER_THRESHOLD,
+    calibrate_delta,
+    calibrate_scatter,
+    scatter_threshold,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state(monkeypatch):
+    """Isolate the process-wide caches from other tests (and vice versa)."""
+    monkeypatch.setattr(calibrate, "_state", {"threshold": None, "profile": None})
+    monkeypatch.setattr(calibrate, "_DELTA_CACHE", {})
+    monkeypatch.delenv("REPRO_KERNEL_THRESHOLD", raising=False)
+    monkeypatch.delenv("REPRO_KERNEL_CALIBRATE", raising=False)
+
+
+def test_threshold_env_pin(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_THRESHOLD", "777")
+    assert scatter_threshold() == 777
+
+
+def test_threshold_calibration_disabled(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_CALIBRATE", "0")
+    assert scatter_threshold() == DEFAULT_SCATTER_THRESHOLD
+
+
+def test_calibrate_scatter_profile_cached():
+    prof = calibrate_scatter(repeats=1)
+    assert prof["threshold"] >= 1
+    assert set(prof["timings"]) == {"128", "256", "512", "1024", "4096"}
+    # Second call returns the cached profile object.
+    assert calibrate_scatter() is prof
+    assert scatter_threshold() == prof["threshold"]
+
+
+def test_calibrate_delta_cached_by_fingerprint():
+    g = road_graph(6, 6, seed=4)
+    calls = []
+    d1 = calibrate_delta(g, doublings=3)
+    assert d1 > 0
+    # Same fingerprint -> cache hit, even through a rebuilt object.
+    g2 = road_graph(6, 6, seed=4)
+    assert g.fingerprint() == g2.fingerprint()
+    assert calibrate_delta(g2, doublings=3) == d1
+    assert not calls
+
+
+def test_calibrate_delta_empty_graph():
+    g = build_graph([], num_vertices=3)
+    assert calibrate_delta(g) == 1.0
+
+
+def test_default_strategy_static_on_uniform_weights():
+    """Low-dispersion weights keep the cheap static 2x-mean guess."""
+    g = road_graph(6, 6, seed=4)
+    mean_w, std_w = g.weight_stats()
+    assert std_w <= CALIBRATE_CV_THRESHOLD * mean_w
+    strat = default_strategy(g)
+    assert isinstance(strat, DeltaStepping)
+    assert strat.delta == pytest.approx(max(mean_w * 2.0, 1e-12))
+
+
+def test_default_strategy_calibrates_on_skewed_weights():
+    """A heavy-tailed weight mix (cv > threshold) triggers the doubling
+    search; the result must come from the Δ cache afterwards."""
+    rng = np.random.default_rng(0)
+    edges = []
+    for i in range(40):
+        w = 1e-3 if rng.random() < 0.9 else 50.0  # bimodal: huge cv
+        edges.append((i, (i + 1) % 40, w))
+    g = build_graph(edges, name="skewed")
+    mean_w, std_w = g.weight_stats()
+    assert std_w > CALIBRATE_CV_THRESHOLD * mean_w
+    strat = default_strategy(g)
+    assert isinstance(strat, DeltaStepping)
+    assert g.fingerprint() in calibrate._DELTA_CACHE
+    assert strat.delta == calibrate._DELTA_CACHE[g.fingerprint()]
+
+
+def test_default_strategy_modes():
+    g = road_graph(4, 4, seed=1)
+    always = default_strategy(g, calibrate="always")
+    assert always.delta == calibrate._DELTA_CACHE[g.fingerprint()]
+    never = default_strategy(g, calibrate="never")
+    mean_w, _ = g.weight_stats()
+    assert never.delta == pytest.approx(max(mean_w * 2.0, 1e-12))
+    with pytest.raises(ValueError):
+        default_strategy(g, calibrate="sometimes")
+
+
+def test_harness_tune_delta_delegates():
+    from repro.experiments import harness
+
+    harness._DELTA_CACHE.clear()
+    g = road_graph(5, 5, seed=2, name="tune-me")
+    d = harness.tune_delta(g, doublings=2)
+    assert d > 0
+    assert g.fingerprint() in calibrate._DELTA_CACHE
+    # Historical per-name cache still works.
+    assert harness.tune_delta(g, doublings=2) == d

@@ -1,0 +1,58 @@
+"""Differential slice: every kernel impl vs ``ufunc_at``, bit-identical.
+
+Reuses the seeded random-geometric instance family of
+``tests/test_differential.py`` (directed/undirected, zero-weight edges,
+disconnected pairs) — a spread of seeds, every single-query method and
+every batch solver, answers compared for exact equality against the
+``ufunc_at`` reference kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import batch_ppsp, ppsp
+from repro.kernels.scatter import KERNEL_IMPLS
+
+from ..test_differential import METHODS, _random_geometric
+
+NON_REFERENCE = tuple(i for i in KERNEL_IMPLS if i != "ufunc_at")
+BATCH_METHODS = ("multi", "plain-bids", "sssp-vc")
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 5))
+def test_single_methods_identical_across_kernels(seed):
+    graph, pairs = _random_geometric(seed)
+    for s, t in pairs:
+        for method in METHODS:
+            ref = ppsp(graph, s, t, method=method, kernel="ufunc_at")
+            for impl in NON_REFERENCE:
+                got = ppsp(graph, s, t, method=method, kernel=impl)
+                assert got.distance == ref.distance, (seed, method, impl, s, t)
+                if ref.reachable:
+                    assert got.path() == ref.path(), (seed, method, impl, s, t)
+
+
+@pytest.mark.parametrize("seed", range(0, 50, 10))
+def test_batch_solvers_identical_across_kernels(seed):
+    graph, pairs = _random_geometric(seed)
+    for bmethod in BATCH_METHODS:
+        ref = batch_ppsp(graph, pairs, method=bmethod, kernel="ufunc_at")
+        for impl in NON_REFERENCE:
+            got = batch_ppsp(graph, pairs, method=bmethod, kernel=impl)
+            assert got.distances == ref.distances, (seed, bmethod, impl)
+
+
+@pytest.mark.parametrize("seed", (0, 21))
+def test_env_override_selects_kernel(seed, monkeypatch):
+    """REPRO_KERNEL steers runs that pass no explicit kernel."""
+    from repro.core.engine import PPSPEngine
+
+    graph, pairs = _random_geometric(seed)
+    s, t = pairs[0]
+    ref = ppsp(graph, s, t, method="bids", kernel="ufunc_at")
+    monkeypatch.setenv("REPRO_KERNEL", "sort_reduceat")
+    engine = PPSPEngine(graph)
+    assert engine.kernel.impl == "sort_reduceat"
+    got = ppsp(graph, s, t, method="bids")
+    assert got.distance == ref.distance

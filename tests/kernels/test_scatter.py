@@ -1,0 +1,175 @@
+"""Property suite for the scatter-min kernel family.
+
+Every implementation must be *bit-identical* to the ``np.minimum.at``
+reference — same distance bytes, same (sorted-unique) changed-target
+array — across heavy duplicates, inf/finite mixes, empty and
+single-element batches.  float64 min is order-independent and the
+engine feeds no NaNs and no signed zeros, so byte equality is the
+specification, not an approximation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.scatter import (
+    CONCRETE_IMPLS,
+    KERNEL_IMPLS,
+    Kernel,
+    ScratchPool,
+    get_kernel,
+)
+
+NON_REFERENCE = tuple(i for i in KERNEL_IMPLS if i != "ufunc_at")
+
+
+def _reference(dist, targets, values):
+    """The pre-kernel engine idiom: minimum.at then a separate unique."""
+    np.minimum.at(dist, targets, values)
+    return np.unique(targets)
+
+
+def _random_batch(rng, n, size, *, dup_ratio=1, inf_values=False):
+    targets = rng.integers(0, max(n // max(dup_ratio, 1), 1), size=size).astype(np.int64)
+    values = rng.uniform(0.0, 10.0, size=size)
+    if inf_values:
+        values[rng.random(size) < 0.3] = np.inf
+    return targets, values
+
+
+@pytest.mark.parametrize("impl", NON_REFERENCE)
+@pytest.mark.parametrize("seed", range(20))
+def test_matches_reference_bitwise(impl, seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(8, 300))
+    dist0 = rng.uniform(0.0, 5.0, size=n)
+    dist0[rng.random(n) < 0.4] = np.inf
+    size = int(rng.integers(0, 4 * n))
+    targets, values = _random_batch(
+        rng, n, size, dup_ratio=int(rng.integers(1, 6)),
+        inf_values=bool(seed % 2),
+    )
+
+    expect_dist = dist0.copy()
+    expect_changed = _reference(expect_dist, targets, values)
+
+    got_dist = dist0.copy()
+    got_changed = Kernel(impl).scatter_min(got_dist, targets, values)
+
+    assert got_dist.tobytes() == expect_dist.tobytes()
+    assert np.array_equal(got_changed, expect_changed)
+    assert got_changed.dtype == np.int64
+
+
+@pytest.mark.parametrize("impl", KERNEL_IMPLS)
+def test_empty_batch(impl):
+    dist = np.array([1.0, np.inf, 3.0])
+    before = dist.tobytes()
+    changed = Kernel(impl).scatter_min(
+        dist, np.empty(0, dtype=np.int64), np.empty(0)
+    )
+    assert len(changed) == 0
+    assert changed.dtype == np.int64
+    assert dist.tobytes() == before
+
+
+@pytest.mark.parametrize("impl", KERNEL_IMPLS)
+def test_single_element_batch(impl):
+    dist = np.array([np.inf, 5.0, 2.0])
+    changed = Kernel(impl).scatter_min(
+        dist, np.array([1], dtype=np.int64), np.array([3.5])
+    )
+    assert list(changed) == [1]
+    assert list(dist) == [np.inf, 3.5, 2.0]
+
+
+@pytest.mark.parametrize("impl", NON_REFERENCE)
+def test_heavy_duplicates_single_target(impl):
+    """All writes collide on one slot: the worst case for minimum.at."""
+    rng = np.random.default_rng(99)
+    dist = np.full(4, np.inf)
+    values = rng.uniform(0.0, 1.0, size=10_000)
+    targets = np.full(10_000, 2, dtype=np.int64)
+    changed = Kernel(impl).scatter_min(dist, targets, values)
+    assert list(changed) == [2]
+    assert dist[2] == values.min()
+    assert np.isinf(dist[[0, 1, 3]]).all()
+
+
+@pytest.mark.parametrize("impl", NON_REFERENCE)
+def test_all_inf_values_still_report_targets(impl):
+    """scatter_min returns the *touched* unique targets, improving or not
+
+    — the engine filters to improving entries before calling, so the
+    contract is unique(targets), matching the reference exactly."""
+    dist = np.array([1.0, 2.0])
+    expect_dist = dist.copy()
+    expect = _reference(expect_dist, np.array([0, 0, 1]), np.full(3, np.inf))
+    got_dist = dist.copy()
+    got = Kernel(impl).scatter_min(
+        got_dist, np.array([0, 0, 1], dtype=np.int64), np.full(3, np.inf)
+    )
+    assert np.array_equal(got, expect)
+    assert got_dist.tobytes() == expect_dist.tobytes()
+
+
+def test_auto_dispatches_both_sides_of_threshold(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_THRESHOLD", "64")
+    kern = Kernel("auto")
+    assert kern.threshold == 64
+    dist = np.full(1000, np.inf)
+    rng = np.random.default_rng(0)
+
+    small_t, small_v = _random_batch(rng, 1000, 63)
+    kern.scatter_min(dist, small_t, small_v)
+    big_t, big_v = _random_batch(rng, 1000, 64)
+    kern.scatter_min(dist, big_t, big_v)
+
+    stats = kern.take_stats()
+    assert stats["ufunc_at"]["dispatched"] == 1
+    assert stats["sort_reduceat"]["dispatched"] == 1
+    # take_stats resets: a second call reports nothing.
+    assert kern.take_stats() == {}
+
+
+def test_concrete_impl_never_reports_dispatch():
+    kern = Kernel("sort_reduceat")
+    dist = np.full(10, np.inf)
+    kern.scatter_min(dist, np.array([1, 1], dtype=np.int64), np.array([2.0, 1.0]))
+    stats = kern.take_stats()
+    assert stats["sort_reduceat"]["calls"] == 1
+    assert stats["sort_reduceat"]["elements"] == 2
+    assert stats["sort_reduceat"]["dispatched"] == 0
+
+
+def test_get_kernel_contract(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    assert get_kernel(None).impl == "auto"
+    monkeypatch.setenv("REPRO_KERNEL", "sort_reduceat")
+    assert get_kernel(None).impl == "sort_reduceat"
+    # Explicit spec wins over the environment.
+    assert get_kernel("ufunc_at").impl == "ufunc_at"
+    kern = Kernel("auto")
+    assert get_kernel(kern) is kern
+    with pytest.raises(ValueError):
+        Kernel("no-such-impl")
+    assert set(CONCRETE_IMPLS) < set(KERNEL_IMPLS)
+
+
+def test_scratch_pool_growth_and_reuse():
+    pool = ScratchPool()
+    a = pool.take("x", 10, np.int64)
+    assert len(a) == 10
+    b = pool.take("x", 11, np.int64)
+    # Same pooled buffer serves both: no realloc under the minimum size.
+    assert a.base is b.base or a.base is not None
+    big = pool.take("x", 5000, np.int64)
+    assert len(big) == 5000
+    assert pool.nbytes() > 0
+    # Distinct tags never alias.
+    c = pool.take("y", 10, np.float64)
+    c[:] = 1.0
+    d = pool.take("x", 10, np.int64)
+    d[:] = 7
+    assert (c == 1.0).all()

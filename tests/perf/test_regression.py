@@ -47,7 +47,7 @@ class TestRunBenchmark:
         assert gates["pass"] is True
 
     def test_verify_overhead_section(self, snapshot):
-        """Acceptance: serve-time certificate verification costs < 15%
+        """Acceptance: serve-time certificate verification costs < 25%
         on a clean workload (sub-millisecond baselines stay ungated)."""
         v = snapshot["verify"]
         cfg = regression.SCALES["tiny"]
